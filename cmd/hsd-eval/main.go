@@ -1,0 +1,77 @@
+// Command hsd-eval evaluates a trained model on a suite's test set and
+// prints the Table-2-style row (false alarms, CPU, ODST, accuracy).
+//
+// Example:
+//
+//	hsd-eval -data iccad.gob -model model.gob
+//	hsd-eval -data iccad.gob -model model.gob -shift 0.1   # shifted boundary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hotspot/internal/core"
+	"hotspot/internal/dataset"
+	"hotspot/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsd-eval: ")
+	var (
+		data  = flag.String("data", "", "suite file written by hsd-gen (required)")
+		model = flag.String("model", "", "model file written by hsd-train (required)")
+		shift = flag.Float64("shift", 0, "decision-boundary shift λ (Equation (11))")
+	)
+	flag.Parse()
+	if *data == "" || *model == "" {
+		log.Fatal("-data and -model are required")
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mf, err := os.Open(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := core.LoadDetector(mf, core.DefaultConfig())
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tp, fp, fn := 0, 0, 0
+	start := time.Now()
+	for _, s := range ds.Test {
+		pred, err := det.Detect(s.Clip, ds.Core(), *shift)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case pred && s.Hotspot:
+			tp++
+		case pred && !s.Hotspot:
+			fp++
+		case !pred && s.Hotspot:
+			fn++
+		}
+	}
+	res, err := eval.NewResult("Ours", ds.Name, tp, fp, fn, time.Since(start))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %6s %10s %12s %9s\n", "Bench", "FA#", "CPU(s)", "ODST(s)", "Accu")
+	fmt.Printf("%-10s %s\n", res.Benchmark, res.Row())
+}

@@ -1,0 +1,79 @@
+// Command hsd-gen generates a labelled hotspot benchmark suite and writes
+// it to disk, so the expensive lithography labelling runs once and training
+// experiments load it instantly.
+//
+// Examples:
+//
+//	hsd-gen -bench ICCAD -scale 0.02 -out iccad.gob
+//	hsd-gen -bench Industry3 -scale 0.01 -seed 7 -out ind3.gob
+//	hsd-gen -bench Industry1 -rate-only      # print the raw hotspot rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hotspot/internal/dataset"
+	"hotspot/internal/layout"
+	"hotspot/internal/litho"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsd-gen: ")
+	var (
+		bench    = flag.String("bench", "ICCAD", "benchmark style: ICCAD, Industry1, Industry2, Industry3")
+		scale    = flag.Float64("scale", 0.01, "fraction of the paper's Table 2 sample counts")
+		seed     = flag.Int64("seed", 1, "generation seed (same seed => same suite)")
+		out      = flag.String("out", "", "output file (gob); required unless -rate-only")
+		rateOnly = flag.Bool("rate-only", false, "only estimate the style's raw hotspot rate and exit")
+		rateN    = flag.Int("rate-n", 300, "candidates for -rate-only estimation")
+	)
+	flag.Parse()
+
+	style, err := layout.StyleByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *rateOnly {
+		rate, err := layout.HotspotRate(style, *rateN, *seed, litho.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s raw hotspot rate: %.3f (over %d candidates)\n", style.Name, rate, *rateN)
+		return
+	}
+
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	counts, err := layout.PaperCounts(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaled := counts.Scale(*scale)
+	fmt.Printf("generating %s at scale %g: train %d HS / %d NHS, test %d HS / %d NHS\n",
+		style.Name, *scale, scaled.TrainHS, scaled.TrainNHS, scaled.TestHS, scaled.TestNHS)
+
+	start := time.Now()
+	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d clips in %v\n", len(suite.Train)+len(suite.Test), time.Since(start))
+
+	ds := dataset.FromSuite(suite, style)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

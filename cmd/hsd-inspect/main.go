@@ -1,0 +1,96 @@
+// Command hsd-inspect renders clips from a generated suite as ASCII art
+// together with their lithography verdicts — a debugging lens into what the
+// detectors actually see.
+//
+// Examples:
+//
+//	hsd-inspect -data iccad.gob -index 3
+//	hsd-inspect -data iccad.gob -hotspots -n 2   # first 2 hotspots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hotspot/internal/dataset"
+	"hotspot/internal/layout"
+	"hotspot/internal/litho"
+	"hotspot/internal/raster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsd-inspect: ")
+	var (
+		data     = flag.String("data", "", "suite file written by hsd-gen (required)")
+		index    = flag.Int("index", -1, "specific test-set clip index to render")
+		hotspots = flag.Bool("hotspots", false, "walk hotspot clips only")
+		n        = flag.Int("n", 1, "number of clips to render")
+		train    = flag.Bool("train", false, "inspect the training set instead of the test set")
+	)
+	flag.Parse()
+	if *data == "" {
+		log.Fatal("-data is required")
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := ds.Test
+	if *train {
+		set = ds.Train
+	}
+
+	labeler, err := layout.NewLabeler(ds.Style, litho.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	shown := 0
+	for i, s := range set {
+		if *index >= 0 && i != *index {
+			continue
+		}
+		if *index < 0 && *hotspots && !s.Hotspot {
+			continue
+		}
+		if err := render(i, s, ds, labeler); err != nil {
+			log.Fatal(err)
+		}
+		shown++
+		if shown >= *n {
+			break
+		}
+	}
+	if shown == 0 {
+		log.Fatal("no clip matched the selection")
+	}
+}
+
+func render(i int, s layout.Sample, ds *dataset.Dataset, labeler *layout.Labeler) error {
+	fmt.Printf("=== clip %d: hotspot=%v, %d rects, density %.2f ===\n",
+		i, s.Hotspot, len(s.Clip.Rects), s.Clip.Density())
+	im, err := raster.Rasterize(s.Clip, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Println(im.ASCII())
+	rep, err := labeler.Label(s.Clip)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("process window: %.0f%% corners clean\n", 100*rep.WindowFraction)
+	for _, c := range rep.Corners {
+		fmt.Printf("  dose=%.2f defocus=%.0f -> %v (%d violations)\n",
+			c.Condition.Dose, c.Condition.Defocus, c.Defect, c.Violations)
+	}
+	fmt.Println()
+	return nil
+}

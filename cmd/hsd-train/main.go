@@ -1,0 +1,91 @@
+// Command hsd-train trains the paper's detector (feature tensor + CNN +
+// biased learning) on a generated suite and saves the model.
+//
+// Example:
+//
+//	hsd-gen -bench ICCAD -scale 0.02 -out iccad.gob
+//	hsd-train -data iccad.gob -out model.gob -iters 2400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hotspot/internal/core"
+	"hotspot/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsd-train: ")
+	var (
+		data   = flag.String("data", "", "suite file written by hsd-gen (required)")
+		out    = flag.String("out", "model.gob", "output model file")
+		iters  = flag.Int("iters", 0, "override initial-round MGD iterations")
+		rounds = flag.Int("rounds", 0, "override biased-learning rounds t")
+		lr     = flag.Float64("lr", 0, "override initial learning rate λ")
+		seed   = flag.Int64("seed", 0, "override training seed")
+	)
+	flag.Parse()
+	if *data == "" {
+		log.Fatal("-data is required")
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs, nhs := dataset.Stats(ds.Train)
+	fmt.Printf("suite %s: train %d HS / %d NHS\n", ds.Name, hs, nhs)
+
+	cfg := core.DefaultConfig()
+	if *iters > 0 {
+		cfg.Biased.Initial.MaxIters = *iters
+		cfg.Biased.Initial.ValEvery = *iters / 10
+		cfg.Biased.Initial.DecayStep = *iters / 3
+	}
+	if *rounds > 0 {
+		cfg.Biased.Rounds = *rounds
+	}
+	if *lr > 0 {
+		cfg.Biased.Initial.LearningRate = *lr
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+		cfg.Biased.Initial.Seed = *seed
+		cfg.Biased.FineTune.Seed = *seed + 1
+		cfg.Net.Seed = *seed + 2
+	}
+	det, err := core.NewDetector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := det.Train(ds.Train, ds.Core())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d samples (%d validation) in %v\n",
+		report.TrainSamples, report.ValSamples, report.Elapsed)
+	for _, r := range report.Rounds {
+		fmt.Printf("  ε=%.1f: val recall %.1f%%, val FA %d\n",
+			r.Eps, 100*r.Val.Recall, r.Val.FalseAlarms)
+	}
+
+	mf, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mf.Close()
+	if err := det.Save(mf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,80 @@
+// Command featuretensor walks through Figure 1 of the paper: a layout clip
+// is divided into blocks, each block is DCT-transformed, the coefficients
+// are zig-zag flattened and truncated, and the clip is approximately
+// recovered from the truncated tensor. It prints the compression ratio and
+// reconstruction error, and renders the original and reconstructed clip as
+// ASCII art.
+//
+// Run with: go run ./examples/featuretensor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hotspot/internal/feature"
+	"hotspot/internal/geom"
+	"hotspot/internal/raster"
+)
+
+func main() {
+	// A 1200×1200 nm clip, as in the paper's Figure 1.
+	clip := geom.NewClip(geom.R(0, 0, 1200, 1200), []geom.Rect{
+		geom.R(100, 0, 180, 1200),
+		geom.R(300, 0, 380, 700),
+		geom.R(300, 800, 380, 1200),
+		geom.R(520, 200, 600, 1200),
+		geom.R(700, 0, 1100, 90),
+		geom.R(760, 250, 840, 1000),
+		geom.R(950, 250, 1160, 330),
+		geom.R(950, 430, 1030, 1200),
+	})
+
+	cfg := feature.TensorConfig{Blocks: 12, K: 32, ResNM: 4}
+	ft, err := feature.ExtractTensor(clip, clip.Frame, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	im, err := raster.Rasterize(clip, cfg.ResNM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blockPx := im.W / cfg.Blocks
+	rec, err := feature.DecodeTensor(ft, blockPx, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	origPx := im.W * im.H
+	tensorVals := ft.Len()
+	fmt.Printf("clip: %d nm square, rasterized to %dx%d px\n", clip.Frame.W(), im.W, im.H)
+	fmt.Printf("feature tensor: %v  (n=%d blocks, k=%d of %d DCT coefficients per block)\n",
+		ft.Shape(), cfg.Blocks, cfg.K, blockPx*blockPx)
+	fmt.Printf("compression: %d px -> %d values (%.1fx)\n",
+		origPx, tensorVals, float64(origPx)/float64(tensorVals))
+
+	var errE, sigE float64
+	for i := range im.Pix {
+		d := rec.Pix[i] - im.Pix[i]
+		errE += d * d
+		sigE += im.Pix[i] * im.Pix[i]
+	}
+	fmt.Printf("reconstruction relative L2 error: %.1f%% (energy preserved: %.1f%%)\n\n",
+		100*math.Sqrt(errE/sigE), 100*(1-errE/sigE))
+
+	// Downsample for terminal-sized ASCII rendering.
+	small, err := im.Downsample(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recSmall, err := rec.Downsample(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("original clip:")
+	fmt.Println(small.ASCII())
+	fmt.Println("recovered from truncated feature tensor:")
+	fmt.Println(recSmall.ASCII())
+}

@@ -1,0 +1,70 @@
+// Command processwindow maps the process window of wires of decreasing
+// width — the quantity that *defines* a hotspot in the paper's
+// Preliminaries ("layout patterns with a smaller process window ... are
+// defined as hotspots"). It sweeps dose × defocus for each width and
+// prints the window as a small matrix, showing the window collapsing as
+// the width approaches the lithographic cliff.
+//
+// Run with: go run ./examples/processwindow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/litho"
+	"hotspot/internal/raster"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := litho.DefaultConfig()
+	sim, err := litho.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doses := []float64{0.90, 0.95, 1.00, 1.05, 1.10}
+	defoci := []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+	fmt.Println("process window per wire width (rows: defocus; cols: dose; #=prints clean)")
+	fmt.Println()
+	for _, width := range []int{96, 72, 60, 52, 44} {
+		clip := geom.NewClip(geom.R(0, 0, 1024, 1024), []geom.Rect{
+			geom.R(512-width/2, 128, 512+width/2, 896),
+		})
+		mask, err := raster.Rasterize(clip, cfg.ResNM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		region := litho.Region{X0: 16, Y0: 16, X1: mask.W - 16, Y1: mask.H - 16}
+		rep, err := sim.MeasureWindow(mask, region, doses, defoci)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("width %3d nm   window %.0f%%   depth of focus %v\n",
+			width, 100*rep.CleanFraction, rep.DepthOfFocus)
+		fmt.Print("  dose:    ")
+		for _, d := range doses {
+			fmt.Printf("%5.2f", d)
+		}
+		fmt.Println()
+		for di, defocus := range defoci {
+			fmt.Printf("  f=%.2f    ", defocus)
+			for j := range doses {
+				p := rep.Points[di*len(doses)+j]
+				if p.Clean {
+					fmt.Print("    #")
+				} else {
+					fmt.Print("    .")
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("the shrinking window is exactly what the detector learns to predict")
+	fmt.Println("from geometry alone — without running any of these simulations.")
+}

@@ -1,0 +1,78 @@
+// Command quickstart is the end-to-end API tour: generate a small labelled
+// benchmark with the lithography oracle, train the paper's detector
+// (feature tensor + CNN + biased learning), and evaluate it against the
+// paper's metrics. Sized to finish in about two minutes on one core.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"hotspot/internal/core"
+	"hotspot/internal/dataset"
+	"hotspot/internal/layout"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a small labelled suite in the ICCAD style. BuildSuite
+	//    keeps sampling synthetic clips and labelling them with the
+	//    lithography simulator until the requested composition is met.
+	style := layout.StyleICCAD()
+	counts := layout.Counts{TrainHS: 40, TrainNHS: 160, TestHS: 20, TestNHS: 80}
+	fmt.Println("generating labelled clips (lithography oracle)...")
+	start := time.Now()
+	suite, err := layout.BuildSuite(style, counts, layout.BuildOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs, nhs := dataset.Stats(suite.Train)
+	fmt.Printf("  %d train clips (%d hotspot / %d not), %d test clips in %v\n",
+		len(suite.Train), hs, nhs, len(suite.Test), time.Since(start).Round(time.Second))
+
+	// 2. Build the detector: 12×12×32 feature tensors into the Table 1
+	//    CNN, trained with biased learning. The quickstart shortens the
+	//    schedule; defaults suit larger suites.
+	cfg := core.DefaultConfig()
+	cfg.Biased.Initial.MaxIters = 600
+	cfg.Biased.Initial.ValEvery = 100
+	cfg.Biased.Initial.DecayStep = 300
+	cfg.Biased.FineTune.MaxIters = 150
+	cfg.Biased.FineTune.ValEvery = 50
+	cfg.Biased.Rounds = 3
+	det, err := core.NewDetector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training (biased learning: ε = 0.0, 0.1, 0.2)...")
+	report, err := det.Train(suite.Train, style.CoreRect())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range report.Rounds {
+		fmt.Printf("  ε=%.1f: validation recall %.0f%%, false alarms %d\n",
+			r.Eps, 100*r.Val.Recall, r.Val.FalseAlarms)
+	}
+
+	// 3. Evaluate on held-out clips with the paper's metrics.
+	res, err := det.Evaluate(suite.Test, style.CoreRect(), style.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test: accuracy (hotspot recall) %.1f%%, false alarms %d, ODST %.0f s\n",
+		100*res.Accuracy, res.FalseAlarms, res.ODST)
+
+	// 4. Classify a single new clip.
+	clip := layout.Generate(style, rand.New(rand.NewSource(777)))
+	p, err := det.Predict(clip, style.CoreRect())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one fresh clip: hotspot probability %.2f -> %v\n", p, p > 0.5)
+}

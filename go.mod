@@ -1,0 +1,3 @@
+module hotspot
+
+go 1.22

@@ -1,0 +1,189 @@
+// Package baseline implements the two machine-learning hotspot detectors
+// the paper compares against in Table 2:
+//
+//   - SPIE'15 [4]: simplified density features + AdaBoost over decision
+//     stumps (Matsunawa et al.).
+//   - ICCAD'16 [5]: optimized concentric-circle-sampling features with
+//     information-theoretic (mutual information) feature selection and an
+//     online smooth-boosting learner (Zhang et al.).
+//
+// Both expose the same Train/Predict/Evaluate surface as the paper's CNN
+// detector so the Table 2 harness treats all three uniformly.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"hotspot/internal/boost"
+	"hotspot/internal/dataset"
+	"hotspot/internal/eval"
+	"hotspot/internal/feature"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// SPIE15Config parameterizes the density + AdaBoost detector.
+type SPIE15Config struct {
+	Density feature.DensityConfig
+	Rounds  int
+}
+
+// DefaultSPIE15Config mirrors the published flow's scale.
+func DefaultSPIE15Config() SPIE15Config {
+	return SPIE15Config{Density: feature.DefaultDensityConfig(), Rounds: 150}
+}
+
+// SPIE15 is the trained density + AdaBoost detector.
+type SPIE15 struct {
+	cfg  SPIE15Config
+	core geom.Rect
+	ens  *boost.Ensemble
+}
+
+// TrainSPIE15 extracts density features for the training clips and boosts.
+func TrainSPIE15(samples []layout.Sample, core geom.Rect, cfg SPIE15Config) (*SPIE15, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("baseline: SPIE15 rounds must be positive")
+	}
+	X, y, err := dataset.DensityMatrix(samples, core, cfg.Density)
+	if err != nil {
+		return nil, err
+	}
+	ens, err := boost.TrainAdaBoost(X, y, cfg.Rounds)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: SPIE15 training: %w", err)
+	}
+	return &SPIE15{cfg: cfg, core: core, ens: ens}, nil
+}
+
+// Predict classifies one clip.
+func (d *SPIE15) Predict(c geom.Clip) (bool, error) {
+	v, err := feature.ExtractDensity(c, d.core, d.cfg.Density)
+	if err != nil {
+		return false, err
+	}
+	return d.ens.Predict(v), nil
+}
+
+// Evaluate scores a test set and returns the Table 2 row.
+func (d *SPIE15) Evaluate(samples []layout.Sample, benchmark string) (eval.Result, error) {
+	return evaluateDetector("SPIE'15", benchmark, samples, d.Predict)
+}
+
+// ICCAD16Config parameterizes the CCS + MI + smooth boosting detector.
+type ICCAD16Config struct {
+	CCS feature.CCSConfig
+	// SelectTop is the number of CCS features kept by mutual-information
+	// ranking (the "information-theoretic feature optimization").
+	SelectTop int
+	// MIBins is the discretization used for the MI estimates.
+	MIBins int
+	Rounds int
+}
+
+// DefaultICCAD16Config mirrors the published flow's scale.
+func DefaultICCAD16Config() ICCAD16Config {
+	return ICCAD16Config{
+		CCS:       feature.DefaultCCSConfig(),
+		SelectTop: 80,
+		MIBins:    12,
+		Rounds:    200,
+	}
+}
+
+// ICCAD16 is the trained CCS + smooth-boosting detector.
+type ICCAD16 struct {
+	cfg      ICCAD16Config
+	core     geom.Rect
+	selected []int
+	sb       *boost.SmoothBoost
+}
+
+// TrainICCAD16 extracts CCS features, selects the most informative subset
+// by mutual information, and fits the smooth-boosting ensemble.
+func TrainICCAD16(samples []layout.Sample, core geom.Rect, cfg ICCAD16Config) (*ICCAD16, error) {
+	if cfg.SelectTop <= 0 || cfg.Rounds <= 0 || cfg.MIBins < 2 {
+		return nil, fmt.Errorf("baseline: ICCAD16 invalid config")
+	}
+	X, y, err := dataset.CCSMatrix(samples, core, cfg.CCS)
+	if err != nil {
+		return nil, err
+	}
+	top := cfg.SelectTop
+	if top > cfg.CCS.Dim() {
+		top = cfg.CCS.Dim()
+	}
+	selected, err := feature.SelectMI(X, y, top, cfg.MIBins)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: ICCAD16 feature selection: %w", err)
+	}
+	sb, err := boost.TrainSmoothBoost(feature.Project(X, selected), y, cfg.Rounds)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: ICCAD16 training: %w", err)
+	}
+	return &ICCAD16{cfg: cfg, core: core, selected: selected, sb: sb}, nil
+}
+
+// Predict classifies one clip.
+func (d *ICCAD16) Predict(c geom.Clip) (bool, error) {
+	v, err := feature.ExtractCCS(c, d.core, d.cfg.CCS)
+	if err != nil {
+		return false, err
+	}
+	return d.sb.Predict(project(v, d.selected)), nil
+}
+
+// Update folds newly labelled clips into the detector online (the defining
+// capability of the ICCAD'16 flow).
+func (d *ICCAD16) Update(samples []layout.Sample, rounds int) error {
+	X := make([][]float64, len(samples))
+	y := make([]bool, len(samples))
+	for i, s := range samples {
+		v, err := feature.ExtractCCS(s.Clip, d.core, d.cfg.CCS)
+		if err != nil {
+			return err
+		}
+		X[i] = project(v, d.selected)
+		y[i] = s.Hotspot
+	}
+	return d.sb.PartialFit(X, y, rounds)
+}
+
+// Evaluate scores a test set and returns the Table 2 row.
+func (d *ICCAD16) Evaluate(samples []layout.Sample, benchmark string) (eval.Result, error) {
+	return evaluateDetector("ICCAD'16", benchmark, samples, d.Predict)
+}
+
+func project(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// evaluateDetector times predictions over a test set and assembles the
+// Table 2 result row.
+func evaluateDetector(name, benchmark string, samples []layout.Sample, predict func(geom.Clip) (bool, error)) (eval.Result, error) {
+	if len(samples) == 0 {
+		return eval.Result{}, fmt.Errorf("baseline: empty test set")
+	}
+	tp, fp, fn := 0, 0, 0
+	start := time.Now()
+	for _, s := range samples {
+		pred, err := predict(s.Clip)
+		if err != nil {
+			return eval.Result{}, err
+		}
+		switch {
+		case pred && s.Hotspot:
+			tp++
+		case pred && !s.Hotspot:
+			fp++
+		case !pred && s.Hotspot:
+			fn++
+		}
+	}
+	return eval.NewResult(name, benchmark, tp, fp, fn, time.Since(start))
+}

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hotspot/internal/eval"
+	"hotspot/internal/feature"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// PatternMatchConfig parameterizes the fuzzy pattern-matching detector the
+// paper's introduction describes as the other major pre-ML methodology
+// [1, 2]: known hotspot patterns form a library; a test clip is flagged
+// when it lies within a fuzzy-match distance of any library pattern.
+// Patterns are compared by their density-grid signatures under the best of
+// the 8 square symmetries, which is the grid-reduction fuzzy matching of
+// Wen et al.
+type PatternMatchConfig struct {
+	// Density is the signature extractor.
+	Density feature.DensityConfig
+	// Threshold is the maximum mean absolute signature difference for a
+	// fuzzy match.
+	Threshold float64
+	// MaxLibrary caps the stored hotspot library (most-distinct patterns
+	// are kept); 0 means unlimited.
+	MaxLibrary int
+}
+
+// DefaultPatternMatchConfig returns the configuration used alongside the
+// Table 2 baselines.
+func DefaultPatternMatchConfig() PatternMatchConfig {
+	return PatternMatchConfig{
+		Density:   feature.DensityConfig{Grid: 12, ResNM: 4},
+		Threshold: 0.045,
+	}
+}
+
+// PatternMatcher is the trained library detector.
+type PatternMatcher struct {
+	cfg     PatternMatchConfig
+	core    geom.Rect
+	library [][]float64
+	grid    int
+}
+
+// TrainPatternMatcher builds the hotspot library from the training set's
+// hotspot clips (non-hotspots are ignored: pattern matching only knows
+// what it has seen fail).
+func TrainPatternMatcher(samples []layout.Sample, core geom.Rect, cfg PatternMatchConfig) (*PatternMatcher, error) {
+	if err := cfg.Density.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("baseline: pattern-match threshold must be positive")
+	}
+	pm := &PatternMatcher{cfg: cfg, core: core, grid: cfg.Density.Grid}
+	for _, s := range samples {
+		if !s.Hotspot {
+			continue
+		}
+		sig, err := feature.ExtractDensity(s.Clip, core, cfg.Density)
+		if err != nil {
+			return nil, err
+		}
+		pm.library = append(pm.library, sig)
+	}
+	if len(pm.library) == 0 {
+		return nil, fmt.Errorf("baseline: no hotspot patterns to build a library from")
+	}
+	if cfg.MaxLibrary > 0 && len(pm.library) > cfg.MaxLibrary {
+		pm.thin(cfg.MaxLibrary)
+	}
+	return pm, nil
+}
+
+// thin keeps a maximally-spread subset of the library via greedy
+// farthest-point selection.
+func (pm *PatternMatcher) thin(keep int) {
+	kept := [][]float64{pm.library[0]}
+	remaining := pm.library[1:]
+	for len(kept) < keep && len(remaining) > 0 {
+		bestIdx, bestDist := -1, -1.0
+		for i, cand := range remaining {
+			// Distance to the nearest kept pattern.
+			near := math.Inf(1)
+			for _, k := range kept {
+				if d := meanAbsDiff(cand, k); d < near {
+					near = d
+				}
+			}
+			if near > bestDist {
+				bestDist, bestIdx = near, i
+			}
+		}
+		kept = append(kept, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	pm.library = kept
+	sort.Slice(pm.library, func(a, b int) bool { return pm.library[a][0] < pm.library[b][0] })
+}
+
+// LibrarySize returns the number of stored patterns.
+func (pm *PatternMatcher) LibrarySize() int { return len(pm.library) }
+
+// Predict flags a clip when its signature fuzzy-matches any library
+// pattern under any of the 8 square symmetries.
+func (pm *PatternMatcher) Predict(c geom.Clip) (bool, error) {
+	sig, err := feature.ExtractDensity(c, pm.core, pm.cfg.Density)
+	if err != nil {
+		return false, err
+	}
+	variants := signatureSymmetries(sig, pm.grid)
+	for _, lib := range pm.library {
+		for _, v := range variants {
+			if meanAbsDiff(v, lib) <= pm.cfg.Threshold {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Evaluate scores a test set and returns the Table 2-style row.
+func (pm *PatternMatcher) Evaluate(samples []layout.Sample, benchmark string) (eval.Result, error) {
+	if len(samples) == 0 {
+		return eval.Result{}, fmt.Errorf("baseline: empty test set")
+	}
+	tp, fp, fn := 0, 0, 0
+	start := time.Now()
+	for _, s := range samples {
+		pred, err := pm.Predict(s.Clip)
+		if err != nil {
+			return eval.Result{}, err
+		}
+		switch {
+		case pred && s.Hotspot:
+			tp++
+		case pred && !s.Hotspot:
+			fp++
+		case !pred && s.Hotspot:
+			fn++
+		}
+	}
+	return eval.NewResult("PatternMatch", benchmark, tp, fp, fn, time.Since(start))
+}
+
+func meanAbsDiff(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// signatureSymmetries returns the 8 dihedral variants of a grid×grid
+// signature (row-major).
+func signatureSymmetries(sig []float64, grid int) [][]float64 {
+	out := make([][]float64, 8)
+	for op := 0; op < 8; op++ {
+		v := make([]float64, len(sig))
+		for y := 0; y < grid; y++ {
+			for x := 0; x < grid; x++ {
+				sx, sy := x, y
+				if op&1 != 0 {
+					sx = grid - 1 - sx
+				}
+				if op&2 != 0 {
+					sy = grid - 1 - sy
+				}
+				if op&4 != 0 {
+					sx, sy = sy, sx
+				}
+				v[y*grid+x] = sig[sy*grid+sx]
+			}
+		}
+		out[op] = v
+	}
+	return out
+}

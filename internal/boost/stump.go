@@ -1,0 +1,127 @@
+// Package boost implements the shallow ensemble learners behind the two
+// baselines the paper compares against: AdaBoost over decision stumps
+// (the SPIE'15 detector [4]) and smooth boosting with capped instance
+// weights plus online updates (the learner of the ICCAD'16 detector [5]).
+package boost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stump is a one-feature threshold classifier: it predicts +1 when
+// Polarity·(x[Feature] − Threshold) > 0, else −1.
+type Stump struct {
+	Feature   int
+	Threshold float64
+	Polarity  int // +1 or -1
+}
+
+// Predict returns the stump's ±1 vote for a feature vector.
+func (s Stump) Predict(x []float64) float64 {
+	v := x[s.Feature] - s.Threshold
+	if float64(s.Polarity)*v > 0 {
+		return 1
+	}
+	return -1
+}
+
+// sortedFeature caches one feature column sorted by value, for O(n) stump
+// search per round after an O(n log n) one-time sort.
+type sortedFeature struct {
+	order  []int // sample indices sorted by feature value
+	values []float64
+}
+
+// stumpTrainer finds the minimum-weighted-error stump over a dataset.
+type stumpTrainer struct {
+	X     [][]float64
+	y     []float64 // ±1
+	cols  []sortedFeature
+	nDims int
+}
+
+func newStumpTrainer(X [][]float64, y []float64) (*stumpTrainer, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("boost: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("boost: %d samples but %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("boost: zero-dimensional features")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("boost: ragged feature row %d", i)
+		}
+	}
+	t := &stumpTrainer{X: X, y: y, nDims: d, cols: make([]sortedFeature, d)}
+	for j := 0; j < d; j++ {
+		order := make([]int, len(X))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return X[order[a]][j] < X[order[b]][j] })
+		vals := make([]float64, len(X))
+		for k, i := range order {
+			vals[k] = X[i][j]
+		}
+		t.cols[j] = sortedFeature{order: order, values: vals}
+	}
+	return t, nil
+}
+
+// best returns the stump minimizing weighted error under weights w (assumed
+// normalized), along with that error.
+func (t *stumpTrainer) best(w []float64) (Stump, float64) {
+	bestErr := 2.0
+	var bestStump Stump
+	for j := 0; j < t.nDims; j++ {
+		col := t.cols[j]
+		// leftPos = weight of positive samples with value <= threshold as
+		// we sweep thresholds between consecutive sorted values.
+		// err(polarity=+1) = P(y=+1, x<=th) + P(y=-1, x>th)
+		var posBelow, negBelow float64
+		var posTotal, negTotal float64
+		for i := range t.y {
+			if t.y[i] > 0 {
+				posTotal += w[i]
+			} else {
+				negTotal += w[i]
+			}
+		}
+		for k := 0; k < len(col.order); k++ {
+			i := col.order[k]
+			if t.y[i] > 0 {
+				posBelow += w[i]
+			} else {
+				negBelow += w[i]
+			}
+			// Threshold between values[k] and values[k+1]; skip ties.
+			if k+1 < len(col.values) && col.values[k+1] == col.values[k] {
+				continue
+			}
+			var th float64
+			if k+1 < len(col.values) {
+				th = (col.values[k] + col.values[k+1]) / 2
+			} else {
+				th = col.values[k] + 1
+			}
+			// polarity +1: predict +1 for x > th.
+			errPlus := posBelow + (negTotal - negBelow)
+			if errPlus < bestErr {
+				bestErr = errPlus
+				bestStump = Stump{Feature: j, Threshold: th, Polarity: +1}
+			}
+			// polarity -1: predict +1 for x <= th.
+			errMinus := negBelow + (posTotal - posBelow)
+			if errMinus < bestErr {
+				bestErr = errMinus
+				bestStump = Stump{Feature: j, Threshold: th, Polarity: -1}
+			}
+		}
+	}
+	return bestStump, bestErr
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestODST(t *testing.T) {
+	got := ODST(2*time.Second, 5)
+	if got != 52 {
+		t.Fatalf("ODST = %v, want 52", got)
+	}
+	if ODST(0, 0) != 0 {
+		t.Fatal("zero case wrong")
+	}
+}
+
+func TestNewResult(t *testing.T) {
+	r, err := NewResult("Ours", "ICCAD", 90, 30, 10, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FalseAlarms != 30 {
+		t.Fatalf("FA = %d", r.FalseAlarms)
+	}
+	if math.Abs(r.Accuracy-0.9) > 1e-12 {
+		t.Fatalf("Accuracy = %v", r.Accuracy)
+	}
+	// ODST charges both true and false positives.
+	if math.Abs(r.ODST-(3+10*120)) > 1e-9 {
+		t.Fatalf("ODST = %v", r.ODST)
+	}
+	if r.Detector != "Ours" || r.Benchmark != "ICCAD" {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestNewResultNoHotspots(t *testing.T) {
+	r, err := NewResult("x", "y", 0, 3, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy != 0 {
+		t.Fatal("accuracy with no hotspots should be 0")
+	}
+}
+
+func TestNewResultErrors(t *testing.T) {
+	if _, err := NewResult("x", "y", -1, 0, 0, 0); err == nil {
+		t.Fatal("expected negative count error")
+	}
+	if _, err := NewResult("x", "y", 0, 0, 0, -time.Second); err == nil {
+		t.Fatal("expected negative CPU error")
+	}
+}
+
+func TestRow(t *testing.T) {
+	r, _ := NewResult("Ours", "ICCAD", 9, 2, 1, 1500*time.Millisecond)
+	row := r.Row()
+	if !strings.Contains(row, "90.0%") {
+		t.Fatalf("row missing accuracy: %q", row)
+	}
+	if !strings.Contains(row, "2") {
+		t.Fatalf("row missing FA: %q", row)
+	}
+}
+
+// Property: ODST is monotone in both arguments and always >= CPU seconds.
+func TestODSTMonotone(t *testing.T) {
+	f := func(cpuMs uint16, hits uint8) bool {
+		cpu := time.Duration(cpuMs) * time.Millisecond
+		base := ODST(cpu, int(hits))
+		if base < cpu.Seconds() {
+			return false
+		}
+		return ODST(cpu, int(hits)+1) > base && ODST(cpu+time.Second, int(hits)) > base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

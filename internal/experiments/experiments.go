@@ -1,0 +1,148 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section on the synthetic benchmark suites: Table 1 (network
+// configuration), Table 2 (detector comparison), Figure 1 (feature tensor
+// generation), Figure 2 (CNN structure), Figure 3 (SGD vs MGD) and
+// Figure 4 (biased learning vs boundary shifting). cmd/hsd-bench and the
+// repository-level benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hotspot/internal/core"
+	"hotspot/internal/dataset"
+	"hotspot/internal/layout"
+	"hotspot/internal/train"
+)
+
+// Options control experiment scale and caching.
+type Options struct {
+	// Scale multiplies the paper's Table 2 sample counts (1.0 = full
+	// paper size; the default harness runs at a laptop-friendly scale).
+	Scale float64
+	// Seed drives suite generation and training.
+	Seed int64
+	// CacheDir, when non-empty, caches generated suites as gob files so
+	// lithography labelling runs once per (benchmark, scale, seed).
+	CacheDir string
+	// Iters is the initial-round MGD iteration budget (scaled schedules
+	// derive from it).
+	Iters int
+}
+
+// DefaultOptions returns the scale used by the checked-in harness: class
+// ratios and suite proportions match Table 2, sizes are ~1% of the paper's.
+func DefaultOptions() Options {
+	return Options{Scale: 0.01, Seed: 1, Iters: 2400}
+}
+
+// normalize fills zero fields with defaults.
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.Scale <= 0 {
+		o.Scale = d.Scale
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Iters <= 0 {
+		o.Iters = d.Iters
+	}
+	return o
+}
+
+// LoadSuite returns the named benchmark at the requested scale, generating
+// it (and caching it when Options.CacheDir is set).
+func LoadSuite(name string, opts Options) (*dataset.Dataset, error) {
+	opts = opts.normalize()
+	style, err := layout.StyleByName(name)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := layout.PaperCounts(name)
+	if err != nil {
+		return nil, err
+	}
+	scaled := counts.Scale(opts.Scale)
+
+	var cachePath string
+	if opts.CacheDir != "" {
+		cachePath = filepath.Join(opts.CacheDir,
+			fmt.Sprintf("%s_s%g_seed%d.gob", style.Name, opts.Scale, opts.Seed))
+		if f, err := os.Open(cachePath); err == nil {
+			ds, derr := dataset.Load(f)
+			f.Close()
+			if derr == nil {
+				return ds, nil
+			}
+			// Corrupt cache: fall through and regenerate.
+		}
+	}
+
+	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ds := dataset.FromSuite(suite, style)
+	if cachePath != "" {
+		if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+			return nil, err
+		}
+		f, err := os.Create(cachePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := ds.Save(f); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// DetectorConfig returns the training configuration used by all
+// experiments at the given iteration budget.
+func DetectorConfig(opts Options) core.Config {
+	opts = opts.normalize()
+	cfg := core.DefaultConfig()
+	cfg.Seed = opts.Seed + 16
+	cfg.Net.Seed = opts.Seed + 32
+	initial := &cfg.Biased.Initial
+	initial.MaxIters = opts.Iters
+	initial.ValEvery = maxInt(50, opts.Iters/12)
+	initial.DecayStep = maxInt(100, opts.Iters/3)
+	initial.Seed = opts.Seed + 64
+	fine := &cfg.Biased.FineTune
+	fine.MaxIters = maxInt(100, opts.Iters/5)
+	fine.ValEvery = maxInt(25, fine.MaxIters/6)
+	fine.DecayStep = maxInt(50, fine.MaxIters/2)
+	fine.Seed = opts.Seed + 128
+	return cfg
+}
+
+// TensorSets extracts feature tensors for a suite's train and test halves.
+func TensorSets(ds *dataset.Dataset, cfg core.Config) (trainT, testT []train.Sample, err error) {
+	trainT, err = dataset.TensorSamples(ds.Train, ds.Core(), cfg.Feature)
+	if err != nil {
+		return nil, nil, err
+	}
+	testT, err = dataset.TensorSamples(ds.Test, ds.Core(), cfg.Feature)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainT, testT, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Benchmarks lists the Table 2 benchmark names in paper order.
+func Benchmarks() []string {
+	return []string{"ICCAD", "Industry1", "Industry2", "Industry3"}
+}

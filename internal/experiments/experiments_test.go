@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Renders(t *testing.T) {
+	s, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conv1-1", "conv2-2", "maxpooling1", "fc1", "fc2", "12x12x32"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig2Renders(t *testing.T) {
+	s, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conv stage 1", "FC-250", "[16 12 12]", "[32 3 3]", "[2]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Fig2 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig1SmallScale(t *testing.T) {
+	res, s, err := Fig1(Options{Scale: 0.004, Seed: 3, Iters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compression < 10 {
+		t.Fatalf("compression %.1f too low", res.Compression)
+	}
+	if res.RelL2Error > 0.6 {
+		t.Fatalf("reconstruction error %.2f too high", res.RelL2Error)
+	}
+	if !strings.Contains(s, "Figure 1") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	d := DefaultOptions()
+	if o.Scale != d.Scale || o.Seed != d.Seed || o.Iters != d.Iters {
+		t.Fatalf("normalize: %+v", o)
+	}
+	keep := Options{Scale: 0.5, Seed: 9, Iters: 10}.normalize()
+	if keep.Scale != 0.5 || keep.Seed != 9 || keep.Iters != 10 {
+		t.Fatal("normalize clobbered explicit values")
+	}
+}
+
+func TestDetectorConfigDerivation(t *testing.T) {
+	cfg := DetectorConfig(Options{Iters: 1200, Seed: 5})
+	if cfg.Biased.Initial.MaxIters != 1200 {
+		t.Fatalf("iters = %d", cfg.Biased.Initial.MaxIters)
+	}
+	if cfg.Biased.Initial.ValEvery <= 0 || cfg.Biased.Initial.DecayStep <= 0 {
+		t.Fatal("derived schedule invalid")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("derived config invalid: %v", err)
+	}
+	if cfg.Biased.FineTune.MaxIters >= cfg.Biased.Initial.MaxIters {
+		t.Fatal("fine-tune rounds should be shorter than the initial round")
+	}
+}
+
+func TestLoadSuiteCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation is slow")
+	}
+	dir := t.TempDir()
+	opts := Options{Scale: 0.0002, Seed: 11, CacheDir: dir, Iters: 100}
+	a, err := LoadSuite("ICCAD", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second load must come from cache and be identical.
+	b, err := LoadSuite("ICCAD", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != len(b.Train) || len(a.Test) != len(b.Test) {
+		t.Fatal("cache roundtrip changed the suite")
+	}
+	for i := range a.Train {
+		if a.Train[i].Hotspot != b.Train[i].Hotspot {
+			t.Fatal("cache roundtrip changed labels")
+		}
+	}
+	if _, err := LoadSuite("nope", opts); err == nil {
+		t.Fatal("expected unknown-benchmark error")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 4 || b[0] != "ICCAD" || b[3] != "Industry3" {
+		t.Fatalf("benchmarks = %v", b)
+	}
+}
+
+func TestFormatFig4Savings(t *testing.T) {
+	r := Fig4Result{
+		Bias: []Fig4Point{
+			{Label: "ε=0.0", Accuracy: 0.80, FA: 100},
+			{Label: "ε=0.1", Accuracy: 0.85, FA: 120},
+		},
+		Shift: []Fig4Point{
+			{Label: "λ=0.00", Accuracy: 0.80, FA: 100},
+			{Label: "λ=0.10", Accuracy: 0.85, FA: 200},
+		},
+	}
+	s := FormatFig4(r)
+	if !strings.Contains(s, "false alarms saved by biased learning across matched points: 80") {
+		t.Fatalf("savings line wrong:\n%s", s)
+	}
+}
+
+func TestFormatFig3ReachLine(t *testing.T) {
+	s := FormatFig3(Fig3Result{})
+	if !strings.Contains(s, "not reached") {
+		t.Fatalf("empty histories should render 'not reached':\n%s", s)
+	}
+}
+
+func TestTable2EndToEndTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment is slow")
+	}
+	opts := Options{Scale: 0.001, Seed: 21, CacheDir: t.TempDir(), Iters: 150}
+	rows, err := Table2([]string{"ICCAD"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.TrainHS < 2 || r.TestHS < 2 {
+		t.Fatalf("suite composition degenerate: %+v", r)
+	}
+	for _, res := range []struct {
+		name string
+		acc  float64
+		fa   int
+	}{
+		{"SPIE15", r.SPIE15.Accuracy, r.SPIE15.FalseAlarms},
+		{"ICCAD16", r.ICCAD16.Accuracy, r.ICCAD16.FalseAlarms},
+		{"Ours", r.Ours.Accuracy, r.Ours.FalseAlarms},
+	} {
+		if res.acc < 0 || res.acc > 1 {
+			t.Fatalf("%s accuracy %v out of range", res.name, res.acc)
+		}
+		if res.fa < 0 || res.fa > r.TestNHS {
+			t.Fatalf("%s FA %d out of range", res.name, res.fa)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "ICCAD") || !strings.Contains(out, "Average") {
+		t.Fatalf("format missing fields:\n%s", out)
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hotspot/internal/baseline"
+	"hotspot/internal/core"
+	"hotspot/internal/dataset"
+	"hotspot/internal/eval"
+	"hotspot/internal/nn"
+)
+
+// Table1 renders the network configuration table (paper Table 1) computed
+// from the live architecture, plus Figure 2's stage structure.
+func Table1() (string, error) {
+	cfg := nn.DefaultPaperNetConfig()
+	net, err := nn.NewPaperNet(cfg)
+	if err != nil {
+		return "", err
+	}
+	summary, err := net.Summary([]int{cfg.InChannels, cfg.SpatialSize, cfg.SpatialSize})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Table 1: Neural Network Configuration\n")
+	fmt.Fprintf(&b, "input: feature tensor %dx%dx%d (n=%d, k=%d)\n\n",
+		cfg.SpatialSize, cfg.SpatialSize, cfg.InChannels, cfg.SpatialSize, cfg.InChannels)
+	b.WriteString(summary)
+	return b.String(), nil
+}
+
+// Table2Row is one benchmark's comparison across the three detectors.
+type Table2Row struct {
+	Bench                              string
+	TrainHS, TrainNHS, TestHS, TestNHS int
+	SPIE15                             eval.Result
+	ICCAD16                            eval.Result
+	Ours                               eval.Result
+}
+
+// Table2 runs the full detector comparison (paper Table 2) over the given
+// benchmarks (nil = all four).
+func Table2(benches []string, opts Options) ([]Table2Row, error) {
+	if benches == nil {
+		benches = Benchmarks()
+	}
+	rows := make([]Table2Row, 0, len(benches))
+	for _, name := range benches {
+		row, err := table2One(name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2One(name string, opts Options) (Table2Row, error) {
+	ds, err := LoadSuite(name, opts)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	var row Table2Row
+	row.Bench = ds.Name
+	row.TrainHS, row.TrainNHS = dataset.Stats(ds.Train)
+	row.TestHS, row.TestNHS = dataset.Stats(ds.Test)
+
+	cor := ds.Core()
+	sp, err := baseline.TrainSPIE15(ds.Train, cor, baseline.DefaultSPIE15Config())
+	if err != nil {
+		return Table2Row{}, err
+	}
+	row.SPIE15, err = sp.Evaluate(ds.Test, ds.Name)
+	if err != nil {
+		return Table2Row{}, err
+	}
+
+	ic, err := baseline.TrainICCAD16(ds.Train, cor, baseline.DefaultICCAD16Config())
+	if err != nil {
+		return Table2Row{}, err
+	}
+	row.ICCAD16, err = ic.Evaluate(ds.Test, ds.Name)
+	if err != nil {
+		return Table2Row{}, err
+	}
+
+	det, err := core.NewDetector(DetectorConfig(opts))
+	if err != nil {
+		return Table2Row{}, err
+	}
+	if _, err := det.Train(ds.Train, cor); err != nil {
+		return Table2Row{}, err
+	}
+	row.Ours, err = det.Evaluate(ds.Test, cor, ds.Name)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return row, nil
+}
+
+// FormatTable2 renders rows in the paper's layout, with an Average row.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Performance Comparisons (reproduced)\n")
+	fmt.Fprintf(&b, "%-10s %7s %8s %7s %8s | %28s | %28s | %28s\n",
+		"Bench", "TrHS#", "TrNHS#", "TeHS#", "TeNHS#",
+		"SPIE'15 [4]", "ICCAD'16 [5]", "Ours")
+	fmt.Fprintf(&b, "%-10s %7s %8s %7s %8s | %6s %6s %7s %6s | %6s %6s %7s %6s | %6s %6s %7s %6s\n",
+		"", "", "", "", "",
+		"FA#", "CPU", "ODST", "Accu", "FA#", "CPU", "ODST", "Accu", "FA#", "CPU", "ODST", "Accu")
+	var sums [3]struct {
+		fa   int
+		cpu  float64
+		odst float64
+		acc  float64
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %7d %8d %7d %8d | %s | %s | %s\n",
+			r.Bench, r.TrainHS, r.TrainNHS, r.TestHS, r.TestNHS,
+			cell(r.SPIE15), cell(r.ICCAD16), cell(r.Ours))
+		for i, res := range []eval.Result{r.SPIE15, r.ICCAD16, r.Ours} {
+			sums[i].fa += res.FalseAlarms
+			sums[i].cpu += res.CPU.Seconds()
+			sums[i].odst += res.ODST
+			sums[i].acc += res.Accuracy
+		}
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-10s %7s %8s %7s %8s", "Average", "-", "-", "-", "-")
+		for i := range sums {
+			fmt.Fprintf(&b, " | %6d %6.1f %7.0f %5.1f%%",
+				int(float64(sums[i].fa)/n), sums[i].cpu/n, sums[i].odst/n, 100*sums[i].acc/n)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func cell(r eval.Result) string {
+	return fmt.Sprintf("%6d %6.1f %7.0f %5.1f%%",
+		r.FalseAlarms, r.CPU.Seconds(), r.ODST, 100*r.Accuracy)
+}

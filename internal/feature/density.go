@@ -1,0 +1,80 @@
+package feature
+
+import (
+	"fmt"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/raster"
+)
+
+// DensityConfig parameterizes the SPIE'15-style density feature: the clip
+// core is divided into Grid×Grid cells and each cell's drawn-area fraction
+// becomes one feature. The cells are flattened row-major into a 1-D vector
+// — deliberately discarding 2-D adjacency, which is exactly the limitation
+// the paper's feature tensor fixes.
+type DensityConfig struct {
+	Grid  int
+	ResNM int
+}
+
+// DefaultDensityConfig matches the granularity used by the SPIE'15 flow.
+func DefaultDensityConfig() DensityConfig { return DensityConfig{Grid: 12, ResNM: 4} }
+
+// Validate checks the configuration.
+func (c DensityConfig) Validate() error {
+	if c.Grid <= 0 {
+		return fmt.Errorf("feature: density grid must be positive, got %d", c.Grid)
+	}
+	if c.ResNM <= 0 {
+		return fmt.Errorf("feature: density resolution must be positive, got %d", c.ResNM)
+	}
+	return nil
+}
+
+// ExtractDensity computes the density feature vector (length Grid²) of the
+// clip's core window.
+func ExtractDensity(clip geom.Clip, core geom.Rect, cfg DensityConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if core.W() != core.H() || core.Empty() {
+		return nil, fmt.Errorf("feature: core %v must be square and non-empty", core)
+	}
+	if !clip.Frame.ContainsRect(core) {
+		return nil, fmt.Errorf("feature: core %v outside clip frame %v", core, clip.Frame)
+	}
+	im, err := raster.Rasterize(clip, cfg.ResNM)
+	if err != nil {
+		return nil, err
+	}
+	x0 := (core.X0 - clip.Frame.X0) / cfg.ResNM
+	y0 := (core.Y0 - clip.Frame.Y0) / cfg.ResNM
+	side := core.W() / cfg.ResNM
+	coreIm, err := im.SubImage(x0, y0, x0+side, y0+side)
+	if err != nil {
+		return nil, err
+	}
+	return densityFromImage(coreIm, cfg.Grid)
+}
+
+func densityFromImage(im *raster.Image, grid int) ([]float64, error) {
+	if im.W%grid != 0 || im.H%grid != 0 {
+		return nil, fmt.Errorf("feature: image %dx%d not divisible into %d cells", im.W, im.H, grid)
+	}
+	cw, ch := im.W/grid, im.H/grid
+	out := make([]float64, grid*grid)
+	inv := 1.0 / float64(cw*ch)
+	for gy := 0; gy < grid; gy++ {
+		for gx := 0; gx < grid; gx++ {
+			s := 0.0
+			for y := gy * ch; y < (gy+1)*ch; y++ {
+				row := im.Pix[y*im.W:]
+				for x := gx * cw; x < (gx+1)*cw; x++ {
+					s += row[x]
+				}
+			}
+			out[gy*grid+gx] = s * inv
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,550 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/raster"
+)
+
+// testClip builds a small halo-free clip with a few wires.
+func testClip() geom.Clip {
+	return geom.NewClip(geom.R(0, 0, 480, 480), []geom.Rect{
+		geom.R(40, 0, 104, 480),
+		geom.R(180, 0, 244, 480),
+		geom.R(320, 100, 384, 360),
+		geom.R(180, 220, 320, 284),
+	})
+}
+
+func testCfg() TensorConfig { return TensorConfig{Blocks: 12, K: 32, ResNM: 4} }
+
+func testCfgNorm() TensorConfig {
+	return TensorConfig{Blocks: 12, K: 32, ResNM: 4, Normalize: true}
+}
+
+func TestTensorConfigValidate(t *testing.T) {
+	if err := DefaultTensorConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TensorConfig{
+		{Blocks: 0, K: 32, ResNM: 4},
+		{Blocks: 12, K: 0, ResNM: 4},
+		{Blocks: 12, K: 32, ResNM: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestExtractTensorShape(t *testing.T) {
+	c := testClip()
+	ft, err := ExtractTensor(c, c.Frame, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := ft.Shape()
+	if sh[0] != 32 || sh[1] != 12 || sh[2] != 12 {
+		t.Fatalf("tensor shape %v, want [32 12 12]", sh)
+	}
+}
+
+func TestExtractTensorDCChannelIsBlockDensity(t *testing.T) {
+	// Channel 0 holds each block's DC coefficient = blockMean · blockPx
+	// (orthonormal DCT: DC = sum/√(B·B) per axis → mean·B).
+	c := testClip()
+	cfg := testCfg()
+	ft, err := ExtractTensor(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := raster.Rasterize(c, cfg.ResNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := im.W / cfg.Blocks
+	for by := 0; by < cfg.Blocks; by++ {
+		for bx := 0; bx < cfg.Blocks; bx++ {
+			sum := 0.0
+			for y := by * b; y < (by+1)*b; y++ {
+				for x := bx * b; x < (bx+1)*b; x++ {
+					sum += im.At(x, y)
+				}
+			}
+			want := sum / float64(b) // orthonormal 2-D DC = sum / B
+			if math.Abs(ft.At(0, by, bx)-want) > 1e-9 {
+				t.Fatalf("DC(%d,%d) = %v, want %v", by, bx, ft.At(0, by, bx), want)
+			}
+		}
+	}
+}
+
+func TestExtractTensorTranslationEquivariance(t *testing.T) {
+	// Shifting the clip by exactly one block shifts the feature tensor by
+	// one block position.
+	cfg := testCfg()
+	blockNM := 480 / cfg.Blocks * cfg.ResNM / cfg.ResNM // 40 nm
+	base := geom.NewClip(geom.R(0, 0, 480, 480), []geom.Rect{geom.R(80, 80, 200, 160)})
+	shifted := geom.NewClip(geom.R(0, 0, 480, 480), []geom.Rect{geom.R(80+blockNM, 80, 200+blockNM, 160)})
+	f1, err := ExtractTensor(base, base.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ExtractTensor(shifted, shifted.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < cfg.K; ch++ {
+		for by := 0; by < cfg.Blocks; by++ {
+			for bx := 0; bx+1 < cfg.Blocks; bx++ {
+				if math.Abs(f1.At(ch, by, bx)-f2.At(ch, by, bx+1)) > 1e-9 {
+					t.Fatalf("equivariance failed at ch=%d (%d,%d)", ch, by, bx)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractTensorWithHaloCore(t *testing.T) {
+	// A clip with a halo: features must come from the core only, so two
+	// clips differing only outside the core produce identical tensors.
+	cfg := testCfg()
+	frame := geom.R(0, 0, 800, 800)
+	core := geom.R(160, 160, 640, 640)
+	a := geom.NewClip(frame, []geom.Rect{geom.R(200, 200, 264, 600)})
+	b := geom.NewClip(frame, []geom.Rect{geom.R(200, 200, 264, 600), geom.R(0, 0, 100, 100)})
+	fa, err := ExtractTensor(a, core, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := ExtractTensor(b, core, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa.Data() {
+		if fa.Data()[i] != fb.Data()[i] {
+			t.Fatal("halo geometry leaked into core features")
+		}
+	}
+}
+
+func TestExtractTensorErrors(t *testing.T) {
+	c := testClip()
+	cfg := testCfg()
+	if _, err := ExtractTensor(c, geom.R(0, 0, 480, 240), cfg); err == nil {
+		t.Fatal("expected non-square-core error")
+	}
+	if _, err := ExtractTensor(c, geom.R(0, 0, 960, 960), cfg); err == nil {
+		t.Fatal("expected core-outside-frame error")
+	}
+	badRes := cfg
+	badRes.ResNM = 7 // 480/7 not integral
+	if _, err := ExtractTensor(c, c.Frame, badRes); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	badK := cfg
+	badK.K = 10000
+	if _, err := ExtractTensor(c, c.Frame, badK); err == nil {
+		t.Fatal("expected K-too-large error")
+	}
+	badBlocks := cfg
+	badBlocks.Blocks = 7
+	if _, err := ExtractTensor(c, c.Frame, badBlocks); err == nil {
+		t.Fatal("expected block-divisibility error")
+	}
+}
+
+func TestDecodeTensorReconstructs(t *testing.T) {
+	// With K = blockPx² (no truncation) decode∘encode is exact.
+	cfg := TensorConfig{Blocks: 4, K: 100, ResNM: 4}
+	c := geom.NewClip(geom.R(0, 0, 160, 160), []geom.Rect{
+		geom.R(20, 0, 60, 160), geom.R(100, 40, 140, 120),
+	})
+	ft, err := ExtractTensor(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := raster.Rasterize(c, cfg.ResNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeTensor(ft, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.W != im.W || rec.H != im.H {
+		t.Fatalf("reconstruction size %dx%d vs %dx%d", rec.W, rec.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		if math.Abs(rec.Pix[i]-im.Pix[i]) > 1e-9 {
+			t.Fatalf("exact reconstruction failed at %d: %v vs %v", i, rec.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestDecodeTensorTruncationQuality(t *testing.T) {
+	// With K=32 of 100 coefficients the reconstruction keeps most energy:
+	// relative L2 error under 40% for binary layout images (the paper's
+	// "most information kept" claim, Figure 1).
+	cfg := TensorConfig{Blocks: 4, K: 32, ResNM: 4}
+	c := geom.NewClip(geom.R(0, 0, 160, 160), []geom.Rect{
+		geom.R(20, 0, 60, 160), geom.R(100, 40, 140, 120),
+	})
+	ft, err := ExtractTensor(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := raster.Rasterize(c, cfg.ResNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeTensor(ft, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errE, sigE float64
+	for i := range im.Pix {
+		d := rec.Pix[i] - im.Pix[i]
+		errE += d * d
+		sigE += im.Pix[i] * im.Pix[i]
+	}
+	rel := math.Sqrt(errE / sigE)
+	if rel > 0.4 {
+		t.Fatalf("truncated reconstruction error %.2f too high", rel)
+	}
+}
+
+func TestDecodeTensorErrors(t *testing.T) {
+	cfg := TensorConfig{Blocks: 4, K: 16, ResNM: 4}
+	c := testClip()
+	ft, err := ExtractTensor(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTensor(ft, 0, false); err == nil {
+		t.Fatal("expected bad block size error")
+	}
+	if _, err := DecodeTensor(ft, 3, false); err == nil {
+		t.Fatal("expected K-too-large error (16 > 9)")
+	}
+	flat := ft.MustReshape(16 * 4 * 4)
+	if _, err := DecodeTensor(flat, 10, false); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestExtractTensorFromImage(t *testing.T) {
+	im := raster.NewImage(48, 48)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i%7) / 7
+	}
+	cfg := TensorConfig{Blocks: 12, K: 4, ResNM: 4}
+	ft, err := ExtractTensorFromImage(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Dim(0) != 4 || ft.Dim(1) != 12 {
+		t.Fatalf("shape %v", ft.Shape())
+	}
+	if _, err := ExtractTensorFromImage(raster.NewImage(48, 40), cfg); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := ExtractTensorFromImage(raster.NewImage(50, 50), cfg); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestExtractDensity(t *testing.T) {
+	// Left half fully drawn: left cells 1, right cells 0.
+	c := geom.NewClip(geom.R(0, 0, 96, 96), []geom.Rect{geom.R(0, 0, 48, 96)})
+	v, err := ExtractDensity(c, c.Frame, DensityConfig{Grid: 4, ResNM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 16 {
+		t.Fatalf("density length %d", len(v))
+	}
+	for i, d := range v {
+		col := i % 4
+		want := 0.0
+		if col < 2 {
+			want = 1.0
+		}
+		if math.Abs(d-want) > 1e-12 {
+			t.Fatalf("cell %d density %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestExtractDensitySumMatchesClipDensity(t *testing.T) {
+	c := testClip()
+	v, err := ExtractDensity(c, c.Frame, DensityConfig{Grid: 12, ResNM: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, d := range v {
+		mean += d
+	}
+	mean /= float64(len(v))
+	if math.Abs(mean-c.Density()) > 1e-9 {
+		t.Fatalf("mean cell density %v != clip density %v", mean, c.Density())
+	}
+}
+
+func TestExtractDensityErrors(t *testing.T) {
+	c := testClip()
+	if _, err := ExtractDensity(c, c.Frame, DensityConfig{Grid: 0, ResNM: 8}); err == nil {
+		t.Fatal("expected grid error")
+	}
+	if _, err := ExtractDensity(c, geom.R(0, 0, 100, 50), DefaultDensityConfig()); err == nil {
+		t.Fatal("expected core shape error")
+	}
+	if _, err := ExtractDensity(c, c.Frame, DensityConfig{Grid: 7, ResNM: 8}); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestCCSConfig(t *testing.T) {
+	cfg := DefaultCCSConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantDim := 0
+	for i := 0; i < cfg.Rings; i++ {
+		wantDim += cfg.SamplesBase + cfg.SamplesStep*i
+	}
+	if cfg.Dim() != wantDim {
+		t.Fatalf("Dim = %d, want %d", cfg.Dim(), wantDim)
+	}
+	bad := cfg
+	bad.Rings = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected rings error")
+	}
+	bad = cfg
+	bad.OuterNM = bad.InnerNM - 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected radii error")
+	}
+}
+
+func TestExtractCCS(t *testing.T) {
+	c := geom.NewClip(geom.R(0, 0, 1200, 1200), []geom.Rect{geom.R(560, 0, 640, 1200)})
+	cfg := DefaultCCSConfig()
+	v, err := ExtractCCS(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != cfg.Dim() {
+		t.Fatalf("CCS length %d, want %d", len(v), cfg.Dim())
+	}
+	for i, d := range v {
+		if d < 0 || d > 1 {
+			t.Fatalf("sample %d = %v outside [0,1]", i, d)
+		}
+	}
+	// Empty clip gives all-zero features.
+	empty := geom.NewClip(geom.R(0, 0, 1200, 1200), nil)
+	v0, err := ExtractCCS(empty, empty.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range v0 {
+		if d != 0 {
+			t.Fatal("empty clip should give zero CCS features")
+		}
+	}
+}
+
+func TestExtractCCSDiscriminates(t *testing.T) {
+	// A clip with a central feature and one without must differ in the
+	// inner rings.
+	with := geom.NewClip(geom.R(0, 0, 1200, 1200), []geom.Rect{geom.R(520, 520, 680, 680)})
+	without := geom.NewClip(geom.R(0, 0, 1200, 1200), []geom.Rect{geom.R(0, 0, 160, 160)})
+	cfg := DefaultCCSConfig()
+	a, _ := ExtractCCS(with, with.Frame, cfg)
+	b, _ := ExtractCCS(without, without.Frame, cfg)
+	diff := 0.0
+	for i := range a {
+		diff += math.Abs(a[i] - b[i])
+	}
+	if diff < 0.5 {
+		t.Fatalf("CCS features barely differ (%v) for very different clips", diff)
+	}
+}
+
+func TestMutualInformation(t *testing.T) {
+	// Perfectly informative feature.
+	x := []float64{0, 0, 0, 1, 1, 1}
+	y := []bool{false, false, false, true, true, true}
+	mi, err := MutualInformation(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi-math.Log(2)) > 1e-9 {
+		t.Fatalf("MI = %v, want ln 2", mi)
+	}
+	// Constant feature: zero information.
+	mi0, err := MutualInformation([]float64{3, 3, 3, 3}, []bool{true, false, true, false}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi0 != 0 {
+		t.Fatalf("constant feature MI = %v", mi0)
+	}
+}
+
+func TestMutualInformationErrors(t *testing.T) {
+	if _, err := MutualInformation([]float64{1}, []bool{true, false}, 4); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := MutualInformation(nil, nil, 4); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := MutualInformation([]float64{1, 2}, []bool{true, false}, 1); err == nil {
+		t.Fatal("expected bins error")
+	}
+}
+
+// Property: MI of an independent feature is near zero; MI of the label
+// itself is near H(Y).
+func TestMutualInformationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 400
+		x := make([]float64, n)
+		ident := make([]float64, n)
+		y := make([]bool, n)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64() < 0.5
+			if y[i] {
+				ident[i] = 1
+			}
+		}
+		miIndep, err1 := MutualInformation(x, y, 8)
+		miIdent, err2 := MutualInformation(ident, y, 8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return miIndep < 0.05 && miIdent > 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		y[i] = rng.Float64() < 0.5
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		// Feature 2 is the label plus small noise: most informative.
+		if y[i] {
+			row[2] = 1 + 0.05*rng.NormFloat64()
+		} else {
+			row[2] = 0.05 * rng.NormFloat64()
+		}
+		X[i] = row
+	}
+	idx, err := SelectMI(X, y, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 2 {
+		t.Fatalf("top MI feature = %d, want 2", idx[0])
+	}
+	P := Project(X, idx)
+	if len(P) != n || len(P[0]) != 2 {
+		t.Fatalf("projection shape %dx%d", len(P), len(P[0]))
+	}
+	if P[0][0] != X[0][2] {
+		t.Fatal("projection order wrong")
+	}
+}
+
+func TestSelectMIErrors(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []bool{true, false}
+	if _, err := SelectMI(nil, nil, 1, 4); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := SelectMI(X, []bool{true}, 1, 4); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := SelectMI(X, y, 0, 4); err == nil {
+		t.Fatal("expected m error")
+	}
+	if _, err := SelectMI(X, y, 3, 4); err == nil {
+		t.Fatal("expected m>d error")
+	}
+	if _, err := SelectMI([][]float64{{1, 2}, {3}}, y, 1, 4); err == nil {
+		t.Fatal("expected ragged error")
+	}
+}
+
+func TestExtractTensorNormalizedDC(t *testing.T) {
+	// With Normalize on, the DC channel equals the block mean density.
+	c := testClip()
+	cfg := testCfgNorm()
+	ft, err := ExtractTensor(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := raster.Rasterize(c, cfg.ResNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := im.W / cfg.Blocks
+	for by := 0; by < cfg.Blocks; by++ {
+		for bx := 0; bx < cfg.Blocks; bx++ {
+			sum := 0.0
+			for y := by * b; y < (by+1)*b; y++ {
+				for x := bx * b; x < (bx+1)*b; x++ {
+					sum += im.At(x, y)
+				}
+			}
+			want := sum / float64(b*b)
+			if math.Abs(ft.At(0, by, bx)-want) > 1e-9 {
+				t.Fatalf("normalized DC(%d,%d) = %v, want %v", by, bx, ft.At(0, by, bx), want)
+			}
+			if ft.At(0, by, bx) < -1e-9 || ft.At(0, by, bx) > 1+1e-9 {
+				t.Fatal("normalized DC outside [0,1]")
+			}
+		}
+	}
+}
+
+func TestDecodeNormalizedRoundTrip(t *testing.T) {
+	cfg := TensorConfig{Blocks: 4, K: 100, ResNM: 4, Normalize: true}
+	c := geom.NewClip(geom.R(0, 0, 160, 160), []geom.Rect{geom.R(20, 0, 60, 160)})
+	ft, err := ExtractTensor(c, c.Frame, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := raster.Rasterize(c, cfg.ResNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeTensor(ft, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if math.Abs(rec.Pix[i]-im.Pix[i]) > 1e-9 {
+			t.Fatal("normalized roundtrip failed")
+		}
+	}
+}

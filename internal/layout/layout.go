@@ -1,0 +1,305 @@
+// Package layout generates synthetic metal-layer layout clips and labels
+// them with the lithography oracle, standing in for the ICCAD 2012 contest
+// layouts and the ASML industrial suites the paper evaluates on (neither is
+// redistributable).
+//
+// Clips are Manhattan routing-style patterns — parallel wire tracks with
+// segment breaks (line-ends), jogs, T-junctions and via-like squares —
+// drawn on a manufacturing grid inside an extended window (clip + halo) so
+// the optical model sees realistic surroundings. Drawn dimensions come from
+// two bands: a safe band comfortably above the lithographic cliff and a
+// risky band straddling it; per-clip risk draws decide how often risky
+// dimensions appear, which controls each suite's hotspot rate. Whether a
+// clip actually is a hotspot is decided by internal/litho's process-window
+// analysis of the clip core, exactly mirroring how the real suites were
+// labelled by lithography simulation.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/litho"
+	"hotspot/internal/raster"
+)
+
+// Style parameterizes a benchmark suite's pattern population. Dimensions
+// are nanometres. Width and space values are drawn from [WidthRisk,
+// WidthSafe) when a feature is risky and [WidthSafe, WidthMax] when safe
+// (likewise for spaces); with the default lithography process the
+// print/fail cliff sits around 58 nm width and 62 nm space, inside the
+// risky band, so risky features fail at some process corner roughly half
+// the time and the learning problem has genuinely hard cases on both sides
+// of the boundary.
+type Style struct {
+	// Name identifies the suite (e.g. "ICCAD", "Industry1").
+	Name string
+	// ClipNM is the classified window side (the paper uses 1200 nm).
+	ClipNM int
+	// HaloNM is extra simulated context on each side of the clip.
+	HaloNM int
+	// GridNM is the manufacturing grid; all edges snap to it.
+	GridNM int
+	// WidthRisk <= WidthSafe <= WidthMax bound the wire width bands.
+	WidthRisk, WidthSafe, WidthMax int
+	// SpaceRisk <= SpaceSafe <= SpaceMax bound the spacing bands.
+	SpaceRisk, SpaceSafe, SpaceMax int
+	// RiskProb is the mean per-feature probability of drawing from the
+	// risky band; the per-clip level varies uniformly in [0, 2·RiskProb].
+	RiskProb float64
+	// BreakProb is the per-track probability of a segment break (a
+	// line-end pair) inside the window.
+	BreakProb float64
+	// JogProb is the per-track probability of a lateral jog.
+	JogProb float64
+	// StubProb is the per-track probability of an orthogonal stub
+	// (T-junction arm) reaching toward the next track.
+	StubProb float64
+	// ViaProb is the per-track probability of a via-like square landed in
+	// the space after the track.
+	ViaProb float64
+}
+
+// Validate checks the style for usability.
+func (s Style) Validate() error {
+	if s.ClipNM <= 0 || s.HaloNM < 0 || s.GridNM <= 0 {
+		return fmt.Errorf("layout: bad geometry params in style %q", s.Name)
+	}
+	if s.WidthRisk <= 0 || s.WidthSafe < s.WidthRisk || s.WidthMax < s.WidthSafe {
+		return fmt.Errorf("layout: bad width bands in style %q", s.Name)
+	}
+	if s.SpaceRisk <= 0 || s.SpaceSafe < s.SpaceRisk || s.SpaceMax < s.SpaceSafe {
+		return fmt.Errorf("layout: bad space bands in style %q", s.Name)
+	}
+	for _, p := range []float64{s.RiskProb, s.BreakProb, s.JogProb, s.StubProb, s.ViaProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("layout: probability out of [0,1] in style %q", s.Name)
+		}
+	}
+	return nil
+}
+
+// WindowNM returns the extended (clip + halo) window side.
+func (s Style) WindowNM() int { return s.ClipNM + 2*s.HaloNM }
+
+// CoreRect returns the clip core within the extended window, in window
+// coordinates.
+func (s Style) CoreRect() geom.Rect {
+	return geom.R(s.HaloNM, s.HaloNM, s.HaloNM+s.ClipNM, s.HaloNM+s.ClipNM)
+}
+
+// snap rounds v down to the style grid (never below one grid unit).
+func (s Style) snap(v int) int {
+	g := s.GridNM
+	v = v / g * g
+	if v < g {
+		v = g
+	}
+	return v
+}
+
+// clipState carries the per-clip sampling context.
+type clipState struct {
+	style Style
+	rng   *rand.Rand
+	risk  float64 // per-feature risky-band probability for this clip
+}
+
+func (cs *clipState) risky() bool { return cs.rng.Float64() < cs.risk }
+
+// drawBand samples uniformly from [lo, hi] snapped to grid.
+func (cs *clipState) drawBand(lo, hi int) int {
+	if hi <= lo {
+		return cs.style.snap(lo)
+	}
+	return cs.style.snap(lo + cs.rng.Intn(hi-lo+1))
+}
+
+func (cs *clipState) width() int {
+	st := cs.style
+	if cs.risky() {
+		return cs.drawBand(st.WidthRisk, st.WidthSafe-st.GridNM)
+	}
+	return cs.drawBand(st.WidthSafe, st.WidthMax)
+}
+
+// structMin is the minimum width for structural features (breaks, jogs,
+// stubs) and, scaled up, vias: safely above the lithographic cliff so that
+// baseline (risk-free) clips print cleanly.
+func (cs *clipState) structMin() int { return cs.style.WidthSafe + 3*cs.style.GridNM }
+
+// structWidth samples a width for a structural feature, respecting the
+// structural floor. Stubs and jog arms never draw from the risky band:
+// short arms that fail to print often sit inside the EPE tolerance and
+// would produce label noise rather than learnable hotspots; the risky
+// budget is spent on track widths, spaces and vias, whose failures are
+// reliable.
+func (cs *clipState) structWidth() int {
+	st := cs.style
+	lo := cs.structMin()
+	hi := st.WidthMax
+	if hi < lo {
+		hi = lo
+	}
+	return cs.drawBand(lo, hi)
+}
+
+func (cs *clipState) space() int {
+	st := cs.style
+	if cs.risky() {
+		return cs.drawBand(st.SpaceRisk, st.SpaceSafe-st.GridNM)
+	}
+	return cs.drawBand(st.SpaceSafe, st.SpaceMax)
+}
+
+// Generate produces one candidate clip: drawn geometry over the extended
+// window. The same rng state always yields the same clip.
+func Generate(style Style, rng *rand.Rand) geom.Clip {
+	win := style.WindowNM()
+	frame := geom.R(0, 0, win, win)
+	cs := &clipState{
+		style: style,
+		rng:   rng,
+		risk:  2 * style.RiskProb * rng.Float64(),
+	}
+	vertical := rng.Intn(2) == 0
+
+	var rects []geom.Rect
+	pos := -style.snap(rng.Intn(style.WidthMax + 1))
+	for pos < win {
+		width := cs.width()
+		space := cs.space()
+		rects = append(rects, genTrack(cs, pos, width, space, win, vertical)...)
+		pos += width + space
+	}
+	return geom.NewClip(frame, geom.MergeTouching(rects))
+}
+
+// genTrack draws one routing track occupying [pos, pos+width] across the
+// window, with the given clear space before the next track, plus optional
+// breaks, jogs, stubs and vias that never violate the drawn space bands.
+func genTrack(cs *clipState, pos, width, space, win int, vertical bool) []geom.Rect {
+	st := cs.style
+	rng := cs.rng
+	var rects []geom.Rect
+	lo, hi := pos, pos+width
+
+	type seg struct{ a, b int }
+	segs := []seg{{0, win}}
+	// Line-end tips pull back much more than straight edges, so breaks are
+	// placed only on structurally wide tracks, with safe tip-to-tip gaps:
+	// tip pullback means drawn-risky gaps neither bridge nor open reliably,
+	// so they would only add label noise. Breaks contribute pattern
+	// diversity (and hard negatives), not hotspots.
+	if rng.Float64() < st.BreakProb && width >= cs.structMin() {
+		at := st.snap(win/4 + rng.Intn(win/2))
+		gap := cs.drawBand(st.SpaceSafe, st.SpaceMax)
+		segs = []seg{{0, at}, {at + gap, win}}
+	}
+
+	for _, sg := range segs {
+		a, b := sg.a, sg.b
+		if b-a < width {
+			continue
+		}
+		if rng.Float64() < st.JogProb && b-a > 4*width && space > 2*st.GridNM &&
+			width >= cs.structMin() {
+			// Lateral jog toward the next track; the shifted run keeps a
+			// freshly drawn space to it.
+			g := cs.space()
+			shift := space - g
+			if shift > st.GridNM {
+				shift = st.snap(st.GridNM + rng.Intn(shift-st.GridNM+1))
+				at := st.snap(a + (b-a)/3 + rng.Intn((b-a)/3))
+				rects = append(rects,
+					orient(vertical, lo, a, hi, at+width),
+					orient(vertical, lo, at, hi+shift, at+width),
+					orient(vertical, lo+shift, at, hi+shift, b))
+				continue
+			}
+		}
+		rects = append(rects, orient(vertical, lo, a, hi, b))
+	}
+
+	if rng.Float64() < st.StubProb {
+		// Orthogonal arm reaching into the space after the track: either a
+		// full connection to the next track or a tip stopping one space
+		// draw short of it.
+		at := st.snap(win/6 + rng.Intn(2*win/3))
+		stubW := cs.structWidth()
+		var stubLen int
+		if rng.Intn(2) == 0 {
+			stubLen = space + st.GridNM*2 // lands on the next track
+		} else {
+			g := cs.space()
+			stubLen = space - g
+		}
+		if stubLen >= st.GridNM {
+			rects = append(rects, orient(vertical, hi, at, hi+stubLen, at+stubW))
+		}
+	}
+
+	if rng.Float64() < st.ViaProb {
+		// Via-like square in the space after the track, keeping a space
+		// draw on each side. Isolated squares need generous sides to print
+		// through defocus; risky draws use cliff-sized squares (dot
+		// hotspot candidates).
+		var side int
+		if cs.risky() {
+			side = cs.drawBand(st.WidthRisk+4*st.GridNM, st.WidthSafe+8*st.GridNM)
+		} else {
+			side = cs.drawBand(2*cs.structMin()-st.GridNM*4, 2*cs.structMin()+8*st.GridNM)
+		}
+		g1, g2 := cs.space(), cs.space()
+		if g1+side+g2 <= space {
+			at := st.snap(win/6 + rng.Intn(2*win/3))
+			rects = append(rects, orient(vertical, hi+g1, at, hi+g1+side, at+side))
+		}
+	}
+
+	return rects
+}
+
+// orient builds a rect in track coordinates: for vertical tracks the first
+// axis is x, for horizontal tracks it is y.
+func orient(vertical bool, lo, a, hi, b int) geom.Rect {
+	if vertical {
+		return geom.R(lo, a, hi, b).Canon()
+	}
+	return geom.R(a, lo, b, hi).Canon()
+}
+
+// Labeler wraps the lithography oracle for a given style.
+type Labeler struct {
+	style Style
+	sim   *litho.Simulator
+}
+
+// NewLabeler builds a labeler from a style and simulator config.
+func NewLabeler(style Style, cfg litho.Config) (*Labeler, error) {
+	if err := style.Validate(); err != nil {
+		return nil, err
+	}
+	sim, err := litho.NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeler{style: style, sim: sim}, nil
+}
+
+// Label rasterizes the clip at the simulator resolution and runs the
+// process-window analysis over the clip core.
+func (l *Labeler) Label(c geom.Clip) (litho.Report, error) {
+	res := l.sim.Config().ResNM
+	mask, err := raster.Rasterize(c, res)
+	if err != nil {
+		return litho.Report{}, err
+	}
+	core := l.style.CoreRect()
+	region := litho.Region{
+		X0: core.X0 / res, Y0: core.Y0 / res,
+		X1: core.X1 / res, Y1: core.Y1 / res,
+	}
+	return l.sim.Analyze(mask, region)
+}

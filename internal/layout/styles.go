@@ -1,0 +1,86 @@
+package layout
+
+import "fmt"
+
+// Suite styles mirroring the paper's four benchmarks (Table 2). The real
+// suites differ in scale, density and pattern diversity; these styles encode
+// those differences. Each style's RiskProb is calibrated so the raw hotspot
+// rate approximates the suite's actual hotspot fraction in Table 2 (ICCAD
+// ~11%, Industry1 ~69%, Industry2 ~24%, Industry3 ~33%), which keeps
+// rejection sampling during suite construction cheap. Feature probabilities
+// grow from ICCAD to Industry3: more jogs, junctions and vias mean more 2-D
+// pattern diversity, which is what degrades the shallow baselines in the
+// paper's Table 2.
+
+// StyleICCAD models the merged 28 nm ICCAD 2012 contest suite.
+func StyleICCAD() Style {
+	return Style{
+		Name:   "ICCAD",
+		ClipNM: 1200, HaloNM: 200, GridNM: 8,
+		WidthRisk: 36, WidthSafe: 72, WidthMax: 120,
+		SpaceRisk: 36, SpaceSafe: 72, SpaceMax: 160,
+		RiskProb:  0.013,
+		BreakProb: 0.30, JogProb: 0.10, StubProb: 0.15, ViaProb: 0.10,
+	}
+}
+
+// StyleIndustry1 models the first industrial suite: dense tracks, very
+// hotspot-rich (the paper's training set has more hotspots than
+// non-hotspots).
+func StyleIndustry1() Style {
+	return Style{
+		Name:   "Industry1",
+		ClipNM: 1200, HaloNM: 200, GridNM: 8,
+		WidthRisk: 36, WidthSafe: 72, WidthMax: 96,
+		SpaceRisk: 36, SpaceSafe: 72, SpaceMax: 120,
+		RiskProb:  0.18,
+		BreakProb: 0.50, JogProb: 0.20, StubProb: 0.25, ViaProb: 0.15,
+	}
+}
+
+// StyleIndustry2 models the second industrial suite: wider dimension mix,
+// more pattern diversity, mostly non-hotspot.
+func StyleIndustry2() Style {
+	return Style{
+		Name:   "Industry2",
+		ClipNM: 1200, HaloNM: 200, GridNM: 8,
+		WidthRisk: 36, WidthSafe: 72, WidthMax: 112,
+		SpaceRisk: 36, SpaceSafe: 72, SpaceMax: 144,
+		RiskProb:  0.030,
+		BreakProb: 0.40, JogProb: 0.25, StubProb: 0.30, ViaProb: 0.20,
+	}
+}
+
+// StyleIndustry3 models the third industrial suite: the most diverse and
+// the hardest (the paper's baselines degrade most here).
+func StyleIndustry3() Style {
+	return Style{
+		Name:   "Industry3",
+		ClipNM: 1200, HaloNM: 200, GridNM: 4,
+		WidthRisk: 48, WidthSafe: 68, WidthMax: 104,
+		SpaceRisk: 44, SpaceSafe: 68, SpaceMax: 136,
+		RiskProb:  0.050,
+		BreakProb: 0.50, JogProb: 0.30, StubProb: 0.35, ViaProb: 0.25,
+	}
+}
+
+// StyleByName returns the style for a benchmark name.
+func StyleByName(name string) (Style, error) {
+	switch name {
+	case "ICCAD", "iccad":
+		return StyleICCAD(), nil
+	case "Industry1", "industry1":
+		return StyleIndustry1(), nil
+	case "Industry2", "industry2":
+		return StyleIndustry2(), nil
+	case "Industry3", "industry3":
+		return StyleIndustry3(), nil
+	default:
+		return Style{}, fmt.Errorf("layout: unknown benchmark style %q", name)
+	}
+}
+
+// AllStyles returns the four benchmark styles in Table 2 order.
+func AllStyles() []Style {
+	return []Style{StyleICCAD(), StyleIndustry1(), StyleIndustry2(), StyleIndustry3()}
+}

@@ -1,0 +1,203 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/litho"
+)
+
+// Sample is one labelled clip.
+type Sample struct {
+	Clip    geom.Clip
+	Hotspot bool
+}
+
+// Counts gives the target composition of a suite, mirroring the four count
+// columns of Table 2.
+type Counts struct {
+	TrainHS, TrainNHS, TestHS, TestNHS int
+}
+
+// Total returns the number of samples in the suite.
+func (c Counts) Total() int { return c.TrainHS + c.TrainNHS + c.TestHS + c.TestNHS }
+
+// Scale returns the counts multiplied by f (ceiling, minimum 2 per bucket),
+// preserving Table 2's class ratios at reduced size.
+func (c Counts) Scale(f float64) Counts {
+	s := func(n int) int {
+		v := int(math.Ceil(float64(n) * f))
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return Counts{s(c.TrainHS), s(c.TrainNHS), s(c.TestHS), s(c.TestNHS)}
+}
+
+// PaperCounts returns the exact Table 2 composition for a benchmark name.
+func PaperCounts(name string) (Counts, error) {
+	switch name {
+	case "ICCAD", "iccad":
+		return Counts{TrainHS: 1204, TrainNHS: 17096, TestHS: 2524, TestNHS: 13503}, nil
+	case "Industry1", "industry1":
+		return Counts{TrainHS: 34281, TrainNHS: 15635, TestHS: 17157, TestNHS: 7801}, nil
+	case "Industry2", "industry2":
+		return Counts{TrainHS: 15197, TrainNHS: 48758, TestHS: 7520, TestNHS: 24457}, nil
+	case "Industry3", "industry3":
+		return Counts{TrainHS: 24776, TrainNHS: 49315, TestHS: 12228, TestNHS: 24817}, nil
+	default:
+		return Counts{}, fmt.Errorf("layout: unknown benchmark %q", name)
+	}
+}
+
+// Suite is a complete labelled benchmark: training and testing samples.
+type Suite struct {
+	Name  string
+	Train []Sample
+	Test  []Sample
+}
+
+// BuildOptions controls suite construction.
+type BuildOptions struct {
+	// Seed drives all generation; the same seed yields the same suite
+	// regardless of parallelism.
+	Seed int64
+	// Workers bounds generation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxAttempts bounds total candidate generation before giving up
+	// (guards against styles whose hotspot rate cannot satisfy the
+	// requested composition); 0 means 500 + 60×Total().
+	MaxAttempts int
+	// Litho overrides the oracle configuration; nil means
+	// litho.DefaultConfig().
+	Litho *litho.Config
+}
+
+// BuildSuite generates labelled clips for the style until the requested
+// composition is met. Candidates are produced from per-index RNG streams
+// and consumed in index order, so results are deterministic under any
+// worker count. Hotspot candidates fill the train-HS then test-HS quotas;
+// non-hotspots fill train-NHS then test-NHS.
+func BuildSuite(style Style, counts Counts, opts BuildOptions) (*Suite, error) {
+	if err := style.Validate(); err != nil {
+		return nil, err
+	}
+	if counts.Total() <= 0 {
+		return nil, fmt.Errorf("layout: suite composition is empty")
+	}
+	cfg := litho.DefaultConfig()
+	if opts.Litho != nil {
+		cfg = *opts.Litho
+	}
+	labeler, err := NewLabeler(style, cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 500 + 60*counts.Total()
+	}
+
+	suite := &Suite{Name: style.Name}
+	needHS := counts.TrainHS + counts.TestHS
+	needNHS := counts.TrainNHS + counts.TestNHS
+	var hs, nhs []Sample
+
+	chunk := workers * 8
+	for attempt := 0; attempt < maxAttempts && (len(hs) < needHS || len(nhs) < needNHS); attempt += chunk {
+		n := chunk
+		if attempt+n > maxAttempts {
+			n = maxAttempts - attempt
+		}
+		batch, err := generateBatch(style, labeler, opts.Seed, attempt, n, workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range batch {
+			if s.Hotspot && len(hs) < needHS {
+				hs = append(hs, s)
+			} else if !s.Hotspot && len(nhs) < needNHS {
+				nhs = append(nhs, s)
+			}
+		}
+	}
+	if len(hs) < needHS || len(nhs) < needNHS {
+		return nil, fmt.Errorf("layout: style %q produced %d/%d hotspots and %d/%d non-hotspots within %d attempts",
+			style.Name, len(hs), needHS, len(nhs), needNHS, maxAttempts)
+	}
+	suite.Train = append(suite.Train, hs[:counts.TrainHS]...)
+	suite.Train = append(suite.Train, nhs[:counts.TrainNHS]...)
+	suite.Test = append(suite.Test, hs[counts.TrainHS:needHS]...)
+	suite.Test = append(suite.Test, nhs[counts.TrainNHS:needNHS]...)
+
+	// Shuffle deterministically so class blocks are interleaved.
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	rng.Shuffle(len(suite.Train), func(i, j int) { suite.Train[i], suite.Train[j] = suite.Train[j], suite.Train[i] })
+	rng.Shuffle(len(suite.Test), func(i, j int) { suite.Test[i], suite.Test[j] = suite.Test[j], suite.Test[i] })
+	return suite, nil
+}
+
+// generateBatch produces labelled candidates for indices base..base+n-1 in
+// parallel, returned in index order.
+func generateBatch(style Style, labeler *Labeler, seed int64, base, n, workers int) ([]Sample, error) {
+	out := make([]Sample, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rng := rand.New(rand.NewSource(seed + int64(base+i)*0x9e3779b9))
+				clip := Generate(style, rng)
+				rep, err := labeler.Label(clip)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i] = Sample{Clip: clip, Hotspot: rep.Hotspot}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// HotspotRate estimates the style's raw hotspot probability from n
+// candidates; used for calibration and reported by cmd/hsd-gen.
+func HotspotRate(style Style, n int, seed int64, cfg litho.Config) (float64, error) {
+	labeler, err := NewLabeler(style, cfg)
+	if err != nil {
+		return 0, err
+	}
+	batch, err := generateBatch(style, labeler, seed, 0, n, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return 0, err
+	}
+	hot := 0
+	for _, s := range batch {
+		if s.Hotspot {
+			hot++
+		}
+	}
+	return float64(hot) / float64(n), nil
+}

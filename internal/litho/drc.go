@@ -1,0 +1,63 @@
+package litho
+
+import (
+	"fmt"
+
+	"hotspot/internal/raster"
+)
+
+// RuleViolations summarizes a design-rule check of drawn geometry: the
+// other half of the physical-verification flow the paper situates hotspot
+// detection in (DRC-clean layouts can still fail lithography — that is the
+// entire premise).
+type RuleViolations struct {
+	// WidthPixels counts pixels belonging to drawn features narrower than
+	// the minimum width.
+	WidthPixels int
+	// SpacePixels counts pixels of gaps narrower than the minimum space.
+	SpacePixels int
+}
+
+// Clean reports whether no rule was violated.
+func (v RuleViolations) Clean() bool { return v.WidthPixels == 0 && v.SpacePixels == 0 }
+
+// CheckRules runs a raster DRC over the mask inside region: minimum drawn
+// width and minimum space, both in pixels (Chebyshev metric). Width
+// violations are pixels removed by a morphological opening with radius
+// ⌊(minWidth−1)/2⌋; space violations are gap pixels filled by the closing
+// with radius ⌊(minSpace−1)/2⌋. A feature exactly at the minimum passes.
+func CheckRules(mask *raster.Image, region Region, minWidthPx, minSpacePx int) (RuleViolations, error) {
+	if minWidthPx < 1 || minSpacePx < 1 {
+		return RuleViolations{}, fmt.Errorf("litho: rule minima must be >= 1 pixel")
+	}
+	if region.X0 < 0 || region.Y0 < 0 || region.X1 > mask.W || region.Y1 > mask.H ||
+		region.X0 >= region.X1 || region.Y0 >= region.Y1 {
+		return RuleViolations{}, fmt.Errorf("litho: invalid DRC region")
+	}
+	target := mask.Threshold(0.5)
+	var v RuleViolations
+
+	if r := (minWidthPx - 1) / 2; r > 0 {
+		opened := Dilate(Erode(target, r), r)
+		for y := region.Y0; y < region.Y1; y++ {
+			for x := region.X0; x < region.X1; x++ {
+				i := y*mask.W + x
+				if target.Pix[i] >= 0.5 && opened.Pix[i] < 0.5 {
+					v.WidthPixels++
+				}
+			}
+		}
+	}
+	if r := (minSpacePx - 1) / 2; r > 0 {
+		closed := Erode(Dilate(target, r), r)
+		for y := region.Y0; y < region.Y1; y++ {
+			for x := region.X0; x < region.X1; x++ {
+				i := y*mask.W + x
+				if target.Pix[i] < 0.5 && closed.Pix[i] >= 0.5 {
+					v.SpacePixels++
+				}
+			}
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,99 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/raster"
+)
+
+func drcMask(t *testing.T, rects []geom.Rect) *raster.Image {
+	t.Helper()
+	im, err := raster.Rasterize(geom.NewClip(geom.R(0, 0, 256, 256), rects), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func fullRegion(im *raster.Image) Region { return Region{X0: 0, Y0: 0, X1: im.W, Y1: im.H} }
+
+func TestCheckRulesCleanLayout(t *testing.T) {
+	im := drcMask(t, []geom.Rect{
+		geom.R(20, 10, 60, 240),   // 40 wide
+		geom.R(100, 10, 140, 240), // 40 space to the first
+	})
+	v, err := CheckRules(im, fullRegion(im), 21, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean() {
+		t.Fatalf("clean layout flagged: %+v", v)
+	}
+}
+
+func TestCheckRulesNarrowWidth(t *testing.T) {
+	im := drcMask(t, []geom.Rect{geom.R(100, 10, 107, 240)}) // 7 wide
+	v, err := CheckRules(im, fullRegion(im), 21, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.WidthPixels == 0 {
+		t.Fatal("7-wide feature not flagged against 21 minimum")
+	}
+	if v.SpacePixels != 0 {
+		t.Fatalf("unexpected space violations: %+v", v)
+	}
+}
+
+func TestCheckRulesNarrowSpace(t *testing.T) {
+	im := drcMask(t, []geom.Rect{
+		geom.R(40, 10, 100, 240),
+		geom.R(107, 10, 167, 240), // 7 gap
+	})
+	v, err := CheckRules(im, fullRegion(im), 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SpacePixels == 0 {
+		t.Fatal("7-wide gap not flagged against 21 minimum")
+	}
+	if v.WidthPixels != 0 {
+		t.Fatalf("unexpected width violations: %+v", v)
+	}
+}
+
+func TestCheckRulesExactMinimumPasses(t *testing.T) {
+	// A feature exactly at the minimum width (2r+1) survives opening.
+	im := drcMask(t, []geom.Rect{geom.R(100, 10, 121, 240)}) // 21 wide
+	v, err := CheckRules(im, fullRegion(im), 21, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.WidthPixels != 0 {
+		t.Fatalf("at-minimum feature flagged: %+v", v)
+	}
+}
+
+func TestCheckRulesRegionScoping(t *testing.T) {
+	// A violation outside the region must not count.
+	im := drcMask(t, []geom.Rect{geom.R(4, 10, 11, 240)}) // 7 wide at far left
+	region := Region{X0: 128, Y0: 0, X1: 256, Y1: 256}
+	v, err := CheckRules(im, region, 21, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean() {
+		t.Fatalf("out-of-region violation counted: %+v", v)
+	}
+}
+
+func TestCheckRulesErrors(t *testing.T) {
+	im := raster.NewImage(32, 32)
+	if _, err := CheckRules(im, fullRegion(im), 0, 5); err == nil {
+		t.Fatal("expected min-width error")
+	}
+	if _, err := CheckRules(im, Region{X0: -1, Y0: 0, X1: 8, Y1: 8}, 5, 5); err == nil {
+		t.Fatal("expected region error")
+	}
+}

@@ -1,0 +1,73 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/raster"
+)
+
+func TestLabel4Components(t *testing.T) {
+	im := imageFromRows([]string{
+		"##..#",
+		"##..#",
+		".....",
+		"#..##",
+	})
+	labels, n := label4(im)
+	// Top-left 2x2 block, right column pair, bottom-left pixel,
+	// bottom-right pair: four components.
+	if n != 4 {
+		t.Fatalf("components = %d, want 4", n)
+	}
+	// Pixels of one block share a label; distinct blocks differ.
+	l00 := labels[0]
+	if labels[1] != l00 || labels[5] != l00 || labels[6] != l00 {
+		t.Fatal("top-left block not connected")
+	}
+	if labels[4] == l00 {
+		t.Fatal("disjoint blocks share a label")
+	}
+	// Background stays zero.
+	if labels[2] != 0 || labels[10] != 0 {
+		t.Fatal("background labelled")
+	}
+}
+
+func TestLabel4DiagonalNotConnected(t *testing.T) {
+	im := imageFromRows([]string{
+		"#.",
+		".#",
+	})
+	_, n := label4(im)
+	if n != 2 {
+		t.Fatalf("diagonal pixels merged: %d components", n)
+	}
+}
+
+func TestLabel4Empty(t *testing.T) {
+	im := raster.NewImage(4, 4)
+	labels, n := label4(im)
+	if n != 0 {
+		t.Fatalf("empty image has %d components", n)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("empty image labelled")
+		}
+	}
+}
+
+func TestLabel4LargeBlob(t *testing.T) {
+	// A serpentine shape: connected despite turns.
+	im := imageFromRows([]string{
+		"#####",
+		"....#",
+		"#####",
+		"#....",
+		"#####",
+	})
+	_, n := label4(im)
+	if n != 1 {
+		t.Fatalf("serpentine split into %d components", n)
+	}
+}

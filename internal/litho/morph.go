@@ -1,0 +1,81 @@
+package litho
+
+import "hotspot/internal/raster"
+
+// Erode returns the binary erosion of im (values >= 0.5 are foreground)
+// with a square structuring element of Chebyshev radius r: a pixel stays 1
+// only when every pixel within the (2r+1)² window is 1. Pixels outside the
+// image count as background, so foreground touching the border erodes.
+func Erode(im *raster.Image, r int) *raster.Image {
+	return morph(im, r, true)
+}
+
+// Dilate returns the binary dilation of im with a square structuring
+// element of Chebyshev radius r: a pixel becomes 1 when any pixel within
+// the window is 1.
+func Dilate(im *raster.Image, r int) *raster.Image {
+	return morph(im, r, false)
+}
+
+// morph runs a separable sliding-window min (erode) or max (dilate) over
+// rows then columns; a square window separates exactly.
+func morph(im *raster.Image, r int, erode bool) *raster.Image {
+	if r <= 0 {
+		return binarize(im)
+	}
+	src := binarize(im)
+	tmp := raster.NewImage(im.W, im.H)
+	// Horizontal pass.
+	for y := 0; y < im.H; y++ {
+		row := src.Pix[y*im.W : (y+1)*im.W]
+		orow := tmp.Pix[y*im.W : (y+1)*im.W]
+		for x := 0; x < im.W; x++ {
+			v := windowOp(row, x, r, im.W, erode)
+			orow[x] = v
+		}
+	}
+	// Vertical pass.
+	out := raster.NewImage(im.W, im.H)
+	col := make([]float64, im.H)
+	for x := 0; x < im.W; x++ {
+		for y := 0; y < im.H; y++ {
+			col[y] = tmp.Pix[y*im.W+x]
+		}
+		for y := 0; y < im.H; y++ {
+			out.Pix[y*im.W+x] = windowOp(col, y, r, im.H, erode)
+		}
+	}
+	return out
+}
+
+func windowOp(line []float64, i, r, n int, erode bool) float64 {
+	lo, hi := i-r, i+r
+	if erode {
+		// Out-of-bounds counts as 0, so the window immediately fails.
+		if lo < 0 || hi >= n {
+			return 0
+		}
+		for j := lo; j <= hi; j++ {
+			if line[j] < 0.5 {
+				return 0
+			}
+		}
+		return 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	for j := lo; j <= hi; j++ {
+		if line[j] >= 0.5 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func binarize(im *raster.Image) *raster.Image {
+	return im.Threshold(0.5)
+}

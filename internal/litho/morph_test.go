@@ -1,0 +1,177 @@
+package litho
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotspot/internal/raster"
+)
+
+func imageFromRows(rows []string) *raster.Image {
+	h := len(rows)
+	w := len(rows[0])
+	im := raster.NewImage(w, h)
+	for y, row := range rows {
+		for x, ch := range row {
+			if ch == '#' {
+				im.Set(x, y, 1)
+			}
+		}
+	}
+	return im
+}
+
+func TestErodeBasic(t *testing.T) {
+	im := imageFromRows([]string{
+		".....",
+		".###.",
+		".###.",
+		".###.",
+		".....",
+	})
+	e := Erode(im, 1)
+	// Only the centre survives.
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			want := 0.0
+			if x == 2 && y == 2 {
+				want = 1.0
+			}
+			if e.At(x, y) != want {
+				t.Fatalf("erode(%d,%d) = %v, want %v", x, y, e.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestDilateBasic(t *testing.T) {
+	im := raster.NewImage(5, 5)
+	im.Set(2, 2, 1)
+	d := Dilate(im, 1)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			want := 0.0
+			if x >= 1 && x <= 3 && y >= 1 && y <= 3 {
+				want = 1.0
+			}
+			if d.At(x, y) != want {
+				t.Fatalf("dilate(%d,%d) = %v, want %v", x, y, d.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestErodeBorderIsBackground(t *testing.T) {
+	// Foreground touching the image border erodes away.
+	im := raster.NewImage(4, 4)
+	for i := range im.Pix {
+		im.Pix[i] = 1
+	}
+	e := Erode(im, 1)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := 0.0
+			if x >= 1 && x <= 2 && y >= 1 && y <= 2 {
+				want = 1.0
+			}
+			if e.At(x, y) != want {
+				t.Fatalf("erode(%d,%d) = %v, want %v", x, y, e.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestMorphZeroRadiusBinarizes(t *testing.T) {
+	im := raster.NewImage(2, 1)
+	im.Pix[0], im.Pix[1] = 0.4, 0.9
+	e := Erode(im, 0)
+	d := Dilate(im, 0)
+	if e.Pix[0] != 0 || e.Pix[1] != 1 || d.Pix[0] != 0 || d.Pix[1] != 1 {
+		t.Fatal("radius 0 should binarize only")
+	}
+}
+
+// Property: erosion shrinks, dilation grows (extensivity/anti-extensivity).
+func TestMorphOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := raster.NewImage(12, 12)
+		for i := range im.Pix {
+			if r.Float64() < 0.4 {
+				im.Pix[i] = 1
+			}
+		}
+		rad := 1 + r.Intn(2)
+		e := Erode(im, rad)
+		d := Dilate(im, rad)
+		for i := range im.Pix {
+			if e.Pix[i] > im.Pix[i] || d.Pix[i] < im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: opening (erode then dilate) is contained in the original, and
+// closing (dilate then erode) contains it.
+func TestOpeningClosingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := raster.NewImage(10, 10)
+		for i := range im.Pix {
+			if r.Float64() < 0.5 {
+				im.Pix[i] = 1
+			}
+		}
+		opened := Dilate(Erode(im, 1), 1)
+		closed := Erode(Dilate(im, 1), 1)
+		for i := range im.Pix {
+			if opened.Pix[i] > im.Pix[i] {
+				return false
+			}
+			// Closing may shrink at borders (background padding), so only
+			// check the interior.
+			y, x := i/10, i%10
+			if x >= 2 && x < 8 && y >= 2 && y < 8 && closed.Pix[i] < im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dilation is monotone — a larger image dilates to a larger image.
+func TestDilateMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := raster.NewImage(10, 10)
+		b := raster.NewImage(10, 10)
+		for i := range a.Pix {
+			if r.Float64() < 0.3 {
+				a.Pix[i] = 1
+				b.Pix[i] = 1
+			} else if r.Float64() < 0.3 {
+				b.Pix[i] = 1 // b is a superset of a
+			}
+		}
+		da := Dilate(a, 1)
+		db := Dilate(b, 1)
+		for i := range da.Pix {
+			if da.Pix[i] > db.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

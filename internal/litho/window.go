@@ -1,0 +1,97 @@
+package litho
+
+import (
+	"fmt"
+
+	"hotspot/internal/raster"
+)
+
+// WindowPoint is one (dose, defocus) condition with its printability
+// verdict.
+type WindowPoint struct {
+	Condition Condition
+	Clean     bool
+}
+
+// WindowReport is a sampled process window: the set of (dose, defocus)
+// conditions under which a pattern prints within tolerance. The paper's
+// Preliminaries define hotspots as patterns "with a smaller process
+// window"; Analyze checks fixed corners, while MeasureWindow maps the
+// window itself.
+type WindowReport struct {
+	Points []WindowPoint
+	// DoseLatitude is the widest contiguous clean dose range at zero
+	// defocus, as a fraction of nominal dose (e.g. 0.10 = ±5%).
+	DoseLatitude float64
+	// DepthOfFocus is the largest defocus at which any dose in the swept
+	// range prints cleanly (normalized units; -1 when none).
+	DepthOfFocus float64
+	// CleanFraction is the fraction of sampled conditions that print
+	// cleanly — a scalar process-window size.
+	CleanFraction float64
+}
+
+// MeasureWindow sweeps a dose × defocus grid and reports the pattern's
+// process window. doses and defoci must be non-empty; doses should be
+// sorted ascending for a meaningful DoseLatitude.
+func (s *Simulator) MeasureWindow(mask *raster.Image, region Region, doses, defoci []float64) (WindowReport, error) {
+	if len(doses) == 0 || len(defoci) == 0 {
+		return WindowReport{}, fmt.Errorf("litho: MeasureWindow needs non-empty dose and defocus grids")
+	}
+	if region.X0 < 0 || region.Y0 < 0 || region.X1 > mask.W || region.Y1 > mask.H ||
+		region.X0 >= region.X1 || region.Y0 >= region.Y1 {
+		return WindowReport{}, fmt.Errorf("litho: invalid analysis region")
+	}
+	target := mask.Threshold(0.5)
+	epePx := s.cfg.EPEToleranceNM / s.cfg.ResNM
+	bridgePx := s.cfg.BridgeToleranceNM / s.cfg.ResNM
+	nearTarget := Dilate(target, bridgePx)
+	targetLabels, _ := label4(target)
+
+	rep := WindowReport{DepthOfFocus: -1}
+	clean := 0
+	for _, defocus := range defoci {
+		aerial := s.Aerial(mask, defocus)
+		anyCleanAtDefocus := false
+		for _, dose := range doses {
+			printed := s.Print(aerial, dose)
+			kind, _ := s.scoreDefects(printed, target, nearTarget, targetLabels, region, epePx)
+			ok := kind == DefectNone
+			rep.Points = append(rep.Points, WindowPoint{
+				Condition: Condition{Dose: dose, Defocus: defocus},
+				Clean:     ok,
+			})
+			if ok {
+				clean++
+				anyCleanAtDefocus = true
+			}
+		}
+		if anyCleanAtDefocus && defocus > rep.DepthOfFocus {
+			rep.DepthOfFocus = defocus
+		}
+	}
+	rep.CleanFraction = float64(clean) / float64(len(rep.Points))
+
+	// Widest contiguous clean dose run at the lowest sampled defocus.
+	best, run := 0, 0
+	var runLo, runHi, bestLo, bestHi float64
+	for _, p := range rep.Points[:len(doses)] {
+		if p.Clean {
+			if run == 0 {
+				runLo = p.Condition.Dose
+			}
+			runHi = p.Condition.Dose
+			run++
+			if run > best {
+				best = run
+				bestLo, bestHi = runLo, runHi
+			}
+		} else {
+			run = 0
+		}
+	}
+	if best > 1 {
+		rep.DoseLatitude = bestHi - bestLo
+	}
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/raster"
+)
+
+func sweepGrids() (doses, defoci []float64) {
+	return []float64{0.90, 0.95, 1.00, 1.05, 1.10}, []float64{0, 0.5, 1.0}
+}
+
+func TestMeasureWindowRobustPattern(t *testing.T) {
+	s := mustSim(t)
+	mask := rasterizeClip(t, geom.NewClip(geom.R(0, 0, 1024, 1024), []geom.Rect{
+		geom.R(452, 128, 572, 896), // 120 nm line: robust
+	}))
+	region := Region{X0: 32, Y0: 32, X1: mask.W - 32, Y1: mask.H - 32}
+	doses, defoci := sweepGrids()
+	rep, err := s.MeasureWindow(mask, region, doses, defoci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(doses)*len(defoci) {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	if rep.CleanFraction < 0.8 {
+		t.Fatalf("robust pattern clean fraction %.2f", rep.CleanFraction)
+	}
+	if rep.DepthOfFocus != 1.0 {
+		t.Fatalf("robust pattern DoF %v, want full range", rep.DepthOfFocus)
+	}
+	if rep.DoseLatitude < 0.15 {
+		t.Fatalf("robust pattern dose latitude %.2f", rep.DoseLatitude)
+	}
+}
+
+func TestMeasureWindowMarginalPatternShrinks(t *testing.T) {
+	s := mustSim(t)
+	robust := rasterizeClip(t, geom.NewClip(geom.R(0, 0, 1024, 1024), []geom.Rect{
+		geom.R(452, 128, 572, 896),
+	}))
+	marginal := rasterizeClip(t, geom.NewClip(geom.R(0, 0, 1024, 1024), []geom.Rect{
+		geom.R(486, 128, 538, 896), // 52 nm line: the cliff
+	}))
+	region := Region{X0: 32, Y0: 32, X1: robust.W - 32, Y1: robust.H - 32}
+	doses, defoci := sweepGrids()
+	rr, err := s.MeasureWindow(robust, region, doses, defoci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := s.MeasureWindow(marginal, region, doses, defoci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hotspot IS a smaller process window (the paper's definition).
+	if rm.CleanFraction >= rr.CleanFraction {
+		t.Fatalf("marginal window (%.2f) not smaller than robust (%.2f)",
+			rm.CleanFraction, rr.CleanFraction)
+	}
+	// DepthOfFocus is "any dose prints": over-dosing can rescue a narrow
+	// line even at full defocus, so DoF may tie; it must never exceed.
+	if rm.DepthOfFocus > rr.DepthOfFocus {
+		t.Fatalf("marginal DoF %v exceeds robust %v", rm.DepthOfFocus, rr.DepthOfFocus)
+	}
+	// This marginal line fails under defocus, not dose, so its
+	// zero-defocus dose latitude may tie the robust one.
+	if rm.DoseLatitude > rr.DoseLatitude {
+		t.Fatalf("marginal dose latitude %.2f exceeds robust %.2f",
+			rm.DoseLatitude, rr.DoseLatitude)
+	}
+}
+
+func TestMeasureWindowAgreesWithAnalyze(t *testing.T) {
+	// Sampling exactly the configured corners must agree with Analyze.
+	s := mustSim(t)
+	mask := rasterizeClip(t, geom.NewClip(geom.R(0, 0, 1024, 1024), []geom.Rect{
+		geom.R(486, 128, 538, 896),
+	}))
+	region := Region{X0: 32, Y0: 32, X1: mask.W - 32, Y1: mask.H - 32}
+	rep, err := s.Analyze(mask, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Corners {
+		w, err := s.MeasureWindow(mask, region, []float64{c.Condition.Dose}, []float64{c.Condition.Defocus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Points[0].Clean != (c.Defect == DefectNone) {
+			t.Fatalf("corner %+v: window says clean=%v, analyze says %v",
+				c.Condition, w.Points[0].Clean, c.Defect)
+		}
+	}
+}
+
+func TestMeasureWindowErrors(t *testing.T) {
+	s := mustSim(t)
+	mask := raster.NewImage(32, 32)
+	region := Region{X0: 4, Y0: 4, X1: 28, Y1: 28}
+	if _, err := s.MeasureWindow(mask, region, nil, []float64{0}); err == nil {
+		t.Fatal("expected empty dose grid error")
+	}
+	if _, err := s.MeasureWindow(mask, region, []float64{1}, nil); err == nil {
+		t.Fatal("expected empty defocus grid error")
+	}
+	if _, err := s.MeasureWindow(mask, Region{X0: -1, Y0: 0, X1: 8, Y1: 8}, []float64{1}, []float64{0}); err == nil {
+		t.Fatal("expected bad region error")
+	}
+}

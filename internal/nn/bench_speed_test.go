@@ -1,0 +1,25 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/tensor"
+)
+
+func BenchmarkPaperNetTrainStep(b *testing.B) {
+	net, _ := NewPaperNet(DefaultPaperNetConfig())
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(32, 12, 12)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	target := tensor.MustFromSlice([]float64{1, 0}, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		out, _ := net.Forward(x, true)
+		_, g, _ := SoftmaxCrossEntropy(out, target)
+		_ = net.Backward(g)
+	}
+}

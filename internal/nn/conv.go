@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotspot/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer (cross-correlation, as in every deep
+// learning framework) over channels-first (C, H, W) inputs, computed via
+// im2col + matrix multiply. Work buffers are reused across samples, which
+// matters on the single-sample training path: convolution dominates the
+// paper network's cost.
+type Conv2D struct {
+	name                string
+	inC, outC           int
+	kh, kw, stride, pad int
+	weight, bias        *Param
+	inH, inW            int
+	// Reused buffers (allocated lazily for the first input geometry).
+	cols  *tensor.Tensor // (inC*kh*kw, oh*ow)
+	out   *tensor.Tensor // (outC, oh*ow)
+	dCols *tensor.Tensor // (inC*kh*kw, oh*ow)
+	dx    *tensor.Tensor // (inC, inH, inW)
+}
+
+// NewConv2D builds a convolution layer. Weights are He-initialized from
+// rng; biases start at zero.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: conv %q invalid geometry (inC=%d outC=%d k=%d stride=%d pad=%d)",
+			name, inC, outC, k, stride, pad)
+	}
+	w := tensor.New(outC, inC*k*k)
+	heInit(w, inC*k*k, rng)
+	b := tensor.New(outC)
+	return &Conv2D{
+		name: name, inC: inC, outC: outC, kh: k, kw: k, stride: stride, pad: pad,
+		weight: &Param{Name: name + ".w", W: w, Grad: tensor.New(outC, inC*k*k)},
+		bias:   &Param{Name: name + ".b", W: b, Grad: tensor.New(outC)},
+	}, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// OutputShape implements Layer.
+func (c *Conv2D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != c.inC {
+		return nil, fmt.Errorf("nn: conv %q expects (%d, H, W) input, got %v", c.name, c.inC, in)
+	}
+	oh := tensor.ConvOutputSize(in[1], c.kh, c.stride, c.pad)
+	ow := tensor.ConvOutputSize(in[2], c.kw, c.stride, c.pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: conv %q output collapses for input %v", c.name, in)
+	}
+	return []int{c.outC, oh, ow}, nil
+}
+
+// ensureBuffers sizes the reusable work tensors for the input geometry.
+func (c *Conv2D) ensureBuffers(h, w int) (oh, ow int) {
+	oh = tensor.ConvOutputSize(h, c.kh, c.stride, c.pad)
+	ow = tensor.ConvOutputSize(w, c.kw, c.stride, c.pad)
+	if c.inH != h || c.inW != w || c.cols == nil {
+		c.inH, c.inW = h, w
+		c.cols = tensor.New(c.inC*c.kh*c.kw, oh*ow)
+		c.out = tensor.New(c.outC, oh*ow)
+		c.dCols = tensor.New(c.inC*c.kh*c.kw, oh*ow)
+		c.dx = tensor.New(c.inC, h, w)
+	}
+	return oh, ow
+}
+
+// Forward implements Layer. The returned tensor aliases an internal buffer
+// that is overwritten by the next Forward call on this layer; downstream
+// layers consume it immediately, which is the contract of the sequential
+// one-sample training loop.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 3 || x.Dim(0) != c.inC {
+		return nil, fmt.Errorf("nn: conv %q expects (%d, H, W) input, got %v", c.name, c.inC, x.Shape())
+	}
+	oh, ow := c.ensureBuffers(x.Dim(1), x.Dim(2))
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: conv %q output collapses for input %v", c.name, x.Shape())
+	}
+	if err := tensor.Im2ColInto(c.cols, x, c.kh, c.kw, c.stride, c.pad); err != nil {
+		return nil, err
+	}
+	if err := tensor.MatMulInto(c.out, c.weight.W, c.cols); err != nil {
+		return nil, err
+	}
+	data := c.out.Data()
+	for oc := 0; oc < c.outC; oc++ {
+		b := c.bias.W.At(oc)
+		row := data[oc*oh*ow : (oc+1)*oh*ow]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return c.out.Reshape(c.outC, oh, ow)
+}
+
+// Backward implements Layer. The returned gradient aliases an internal
+// buffer overwritten by the next Backward call.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.cols == nil {
+		return nil, fmt.Errorf("nn: conv %q backward before forward", c.name)
+	}
+	oh := tensor.ConvOutputSize(c.inH, c.kh, c.stride, c.pad)
+	ow := tensor.ConvOutputSize(c.inW, c.kw, c.stride, c.pad)
+	g, err := grad.Reshape(c.outC, oh*ow)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv %q gradient shape %v: %w", c.name, grad.Shape(), err)
+	}
+	// dW += g · colsᵀ
+	if err := tensor.MatMulBTAddInto(c.weight.Grad.MustReshape(c.outC, c.inC*c.kh*c.kw), g, c.cols); err != nil {
+		return nil, err
+	}
+	// db += row sums of g.
+	gd := g.Data()
+	for oc := 0; oc < c.outC; oc++ {
+		s := 0.0
+		for _, v := range gd[oc*oh*ow : (oc+1)*oh*ow] {
+			s += v
+		}
+		c.bias.Grad.Data()[oc] += s
+	}
+	// dx = Col2Im(Wᵀ · g)
+	if err := tensor.MatMulATInto(c.dCols, c.weight.W, g); err != nil {
+		return nil, err
+	}
+	if err := tensor.Col2ImInto(c.dx, c.dCols, c.kh, c.kw, c.stride, c.pad); err != nil {
+		return nil, err
+	}
+	return c.dx, nil
+}
+
+// heInit fills w with He-normal values: N(0, sqrt(2/fanIn)), the standard
+// initialization for ReLU networks.
+func heInit(w *tensor.Tensor, fanIn int, rng *rand.Rand) {
+	std := 1.0
+	if fanIn > 0 {
+		std = sqrt2Over(float64(fanIn))
+	}
+	for i := range w.Data() {
+		w.Data()[i] = rng.NormFloat64() * std
+	}
+}

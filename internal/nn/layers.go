@@ -1,0 +1,305 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hotspot/internal/tensor"
+)
+
+func sqrt2Over(fanIn float64) float64 { return math.Sqrt(2 / fanIn) }
+
+// ReLU is the element-wise rectifier max(0, x) (Equation (5) of the paper).
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (r *ReLU) OutputShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	out := x.Clone()
+	if cap(r.mask) < out.Len() {
+		r.mask = make([]bool, out.Len())
+	}
+	r.mask = r.mask[:out.Len()]
+	for i, v := range out.Data() {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data()[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(r.mask) != grad.Len() {
+		return nil, fmt.Errorf("nn: relu %q backward size %d, forward saw %d", r.name, grad.Len(), len(r.mask))
+	}
+	out := grad.Clone()
+	for i := range out.Data() {
+		if !r.mask[i] {
+			out.Data()[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2 is 2×2 max pooling with stride 2 over (C, H, W) inputs; odd
+// trailing rows/columns are dropped (the paper's shapes are all even).
+type MaxPool2 struct {
+	name   string
+	argmax []int
+	inShp  []int
+}
+
+// NewMaxPool2 builds the pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return m.name }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (m *MaxPool2) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: maxpool %q expects (C, H, W) input, got %v", m.name, in)
+	}
+	if in[1] < 2 || in[2] < 2 {
+		return nil, fmt.Errorf("nn: maxpool %q input %v too small", m.name, in)
+	}
+	return []int{in[0], in[1] / 2, in[2] / 2}, nil
+}
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	shp, err := m.OutputShape(x.Shape())
+	if err != nil {
+		return nil, err
+	}
+	c, oh, ow := shp[0], shp[1], shp[2]
+	h, w := x.Dim(1), x.Dim(2)
+	out := tensor.New(c, oh, ow)
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	m.inShp = x.Shape()
+	xd, od := x.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				i0 := base + (2*oy)*w + 2*ox
+				best, bestIdx := xd[i0], i0
+				for _, di := range [3]int{1, w, w + 1} {
+					if v := xd[i0+di]; v > best {
+						best, bestIdx = v, i0+di
+					}
+				}
+				oi := (ch*oh+oy)*ow + ox
+				od[oi] = best
+				m.argmax[oi] = bestIdx
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (m *MaxPool2) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(m.argmax) != grad.Len() {
+		return nil, fmt.Errorf("nn: maxpool %q backward size %d, forward saw %d", m.name, grad.Len(), len(m.argmax))
+	}
+	out := tensor.New(m.inShp...)
+	for i, v := range grad.Data() {
+		out.Data()[m.argmax[i]] += v
+	}
+	return out, nil
+}
+
+// Dense is a fully connected layer; any input shape is flattened.
+type Dense struct {
+	name     string
+	in, out  int
+	weight   *Param
+	bias     *Param
+	cachedIn *tensor.Tensor
+	inShp    []int
+}
+
+// NewDense builds a fully connected layer with He-initialized weights.
+func NewDense(name string, in, out int, rng *rand.Rand) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: dense %q invalid size %dx%d", name, in, out)
+	}
+	w := tensor.New(out, in)
+	heInit(w, in, rng)
+	return &Dense{
+		name: name, in: in, out: out,
+		weight: &Param{Name: name + ".w", W: w, Grad: tensor.New(out, in)},
+		bias:   &Param{Name: name + ".b", W: tensor.New(out), Grad: tensor.New(out)},
+	}, nil
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
+
+// OutputShape implements Layer.
+func (d *Dense) OutputShape(in []int) ([]int, error) {
+	n := 1
+	for _, v := range in {
+		n *= v
+	}
+	if n != d.in {
+		return nil, fmt.Errorf("nn: dense %q expects %d inputs, got %v (%d)", d.name, d.in, in, n)
+	}
+	return []int{d.out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Len() != d.in {
+		return nil, fmt.Errorf("nn: dense %q expects %d inputs, got %v", d.name, d.in, x.Shape())
+	}
+	d.inShp = x.Shape()
+	flat := x.MustReshape(d.in)
+	d.cachedIn = flat
+	out, err := tensor.MatVec(d.weight.W, flat)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Add(d.bias.W); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.cachedIn == nil {
+		return nil, fmt.Errorf("nn: dense %q backward before forward", d.name)
+	}
+	if grad.Len() != d.out {
+		return nil, fmt.Errorf("nn: dense %q gradient length %d, want %d", d.name, grad.Len(), d.out)
+	}
+	gd := grad.Data()
+	xd := d.cachedIn.Data()
+	wg := d.weight.Grad.Data()
+	for o := 0; o < d.out; o++ {
+		g := gd[o]
+		if g == 0 {
+			continue
+		}
+		row := wg[o*d.in : (o+1)*d.in]
+		for i, xv := range xd {
+			row[i] += g * xv
+		}
+		d.bias.Grad.Data()[o] += g
+	}
+	// dx = Wᵀ · g
+	dx := tensor.New(d.in)
+	wd := d.weight.W.Data()
+	dd := dx.Data()
+	for o := 0; o < d.out; o++ {
+		g := gd[o]
+		if g == 0 {
+			continue
+		}
+		row := wd[o*d.in : (o+1)*d.in]
+		for i, wv := range row {
+			dd[i] += g * wv
+		}
+	}
+	return dx.Reshape(d.inShp...)
+}
+
+// Dropout implements inverted dropout: during training each activation is
+// zeroed with probability Rate and survivors are scaled by 1/(1-Rate);
+// inference is the identity. The paper applies 50% dropout to fc1.
+type Dropout struct {
+	name string
+	rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a dropout layer with its own deterministic RNG stream.
+func NewDropout(name string, rate float64, seed int64) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout %q rate %v outside [0, 1)", name, rate)
+	}
+	return &Dropout{name: name, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (d *Dropout) OutputShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.rate == 0 {
+		// Identity mask so Backward stays consistent.
+		if cap(d.mask) < x.Len() {
+			d.mask = make([]float64, x.Len())
+		}
+		d.mask = d.mask[:x.Len()]
+		for i := range d.mask {
+			d.mask[i] = 1
+		}
+		return x, nil
+	}
+	out := x.Clone()
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float64, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := 1 / (1 - d.rate)
+	for i := range out.Data() {
+		if d.rng.Float64() < d.rate {
+			d.mask[i] = 0
+			out.Data()[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data()[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(d.mask) != grad.Len() {
+		return nil, fmt.Errorf("nn: dropout %q backward size %d, forward saw %d", d.name, grad.Len(), len(d.mask))
+	}
+	out := grad.Clone()
+	for i := range out.Data() {
+		out.Data()[i] *= d.mask[i]
+	}
+	return out, nil
+}

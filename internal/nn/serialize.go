@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hotspot/internal/tensor"
+)
+
+// layerSpec is the gob wire form of one layer.
+type layerSpec struct {
+	Kind string // "conv", "relu", "maxpool", "dense", "dropout"
+	Name string
+	// Conv fields.
+	InC, OutC, K, Stride, Pad int
+	// Dense fields.
+	In, Out int
+	// Dropout fields.
+	Rate float64
+	Seed int64
+	// Parameter payloads in Params() order.
+	Weights [][]float64
+	Shapes  [][]int
+}
+
+type netSpec struct {
+	Version int
+	Layers  []layerSpec
+}
+
+// Save serializes the network (architecture and weights) with encoding/gob.
+func (n *Network) Save(w io.Writer) error {
+	spec := netSpec{Version: 1}
+	for _, l := range n.layers {
+		var s layerSpec
+		s.Name = l.Name()
+		switch t := l.(type) {
+		case *Conv2D:
+			s.Kind = "conv"
+			s.InC, s.OutC, s.K, s.Stride, s.Pad = t.inC, t.outC, t.kh, t.stride, t.pad
+		case *ReLU:
+			s.Kind = "relu"
+		case *MaxPool2:
+			s.Kind = "maxpool"
+		case *Dense:
+			s.Kind = "dense"
+			s.In, s.Out = t.in, t.out
+		case *Dropout:
+			s.Kind = "dropout"
+			s.Rate = t.rate
+			s.Seed = 1
+		default:
+			return fmt.Errorf("nn: cannot serialize layer %T (%s)", l, l.Name())
+		}
+		for _, p := range l.Params() {
+			s.Weights = append(s.Weights, append([]float64(nil), p.W.Data()...))
+			s.Shapes = append(s.Shapes, p.W.Shape())
+		}
+		spec.Layers = append(spec.Layers, s)
+	}
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// Load deserializes a network written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var spec netSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	if spec.Version != 1 {
+		return nil, fmt.Errorf("nn: unsupported network version %d", spec.Version)
+	}
+	rng := rand.New(rand.NewSource(0))
+	var layers []Layer
+	for i, s := range spec.Layers {
+		var l Layer
+		var err error
+		switch s.Kind {
+		case "conv":
+			l, err = NewConv2D(s.Name, s.InC, s.OutC, s.K, s.Stride, s.Pad, rng)
+		case "relu":
+			l = NewReLU(s.Name)
+		case "maxpool":
+			l = NewMaxPool2(s.Name)
+		case "dense":
+			l, err = NewDense(s.Name, s.In, s.Out, rng)
+		case "dropout":
+			l, err = NewDropout(s.Name, s.Rate, s.Seed)
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %q at %d", s.Kind, i)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nn: rebuild layer %d (%s): %w", i, s.Name, err)
+		}
+		params := l.Params()
+		if len(params) != len(s.Weights) {
+			return nil, fmt.Errorf("nn: layer %s expects %d params, spec has %d", s.Name, len(params), len(s.Weights))
+		}
+		for j, p := range params {
+			w, err := tensor.FromSlice(append([]float64(nil), s.Weights[j]...), s.Shapes[j]...)
+			if err != nil {
+				return nil, fmt.Errorf("nn: layer %s param %d: %w", s.Name, j, err)
+			}
+			if !tensor.SameShape(p.W, w) {
+				return nil, fmt.Errorf("nn: layer %s param %d shape %v, want %v", s.Name, j, w.Shape(), p.W.Shape())
+			}
+			copy(p.W.Data(), w.Data())
+		}
+		layers = append(layers, l)
+	}
+	return NewNetwork(layers...), nil
+}
+
+// Clone deep-copies the network via a serialize/deserialize round trip.
+// Layer caches and dropout RNG streams reset; weights are preserved.
+func (n *Network) Clone() (*Network, error) {
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
+}

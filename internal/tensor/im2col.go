@@ -1,0 +1,106 @@
+package tensor
+
+import "fmt"
+
+// Im2Col unfolds a (C, H, W) input into a (C*KH*KW, OH*OW) matrix of
+// receptive-field columns for a convolution with the given kernel size,
+// stride and zero padding. Column j holds the flattened patch that the
+// kernel sees at output position j (row-major over the output grid), so a
+// convolution becomes a single matrix product: weights (OC, C*KH*KW) times
+// the returned matrix.
+func Im2Col(in *Tensor, kh, kw, stride, pad int) (*Tensor, error) {
+	if in.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: im2col needs rank-3 (C,H,W) input, got %v", in.shape)
+	}
+	if kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("tensor: im2col invalid params kh=%d kw=%d stride=%d pad=%d", kh, kw, stride, pad)
+	}
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: im2col kernel %dx%d too large for input %dx%d with pad %d", kh, kw, h, w, pad)
+	}
+	out := New(c*kh*kw, oh*ow)
+	im2colInto(out.data, in.data, c, h, w, kh, kw, stride, pad, oh, ow)
+	return out, nil
+}
+
+func im2colInto(out, in []float64, c, h, w, kh, kw, stride, pad, oh, ow int) {
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					dst := row + oy*ow
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							out[dst+ox] = 0
+						}
+						continue
+					}
+					srcRow := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							out[dst+ox] = 0
+						} else {
+							out[dst+ox] = in[srcRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im folds a (C*KH*KW, OH*OW) column matrix back into a (C, H, W)
+// tensor, accumulating overlapping contributions. It is the adjoint of
+// Im2Col and is used to back-propagate gradients through a convolution.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) (*Tensor, error) {
+	if cols.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: col2im needs rank-2 input, got %v", cols.shape)
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: col2im invalid geometry")
+	}
+	if cols.shape[0] != c*kh*kw || cols.shape[1] != oh*ow {
+		return nil, fmt.Errorf("tensor: col2im shape %v does not match geometry (%d, %d)", cols.shape, c*kh*kw, oh*ow)
+	}
+	out := New(c, h, w)
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					src := row + oy*ow
+					dstRow := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							out.data[dstRow+ix] += cols.data[src+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ConvOutputSize returns the spatial output size of a convolution over an
+// input of extent in with the given kernel extent, stride and padding.
+func ConvOutputSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

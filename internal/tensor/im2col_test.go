@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConv computes a direct cross-correlation (the DL "convolution") for a
+// single output channel, used as the reference for the im2col+matmul path.
+func naiveConv(in *Tensor, w *Tensor, stride, pad int) *Tensor {
+	c, h, ww := in.Dim(0), in.Dim(1), in.Dim(2)
+	kc, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2)
+	if kc != c {
+		panic("channel mismatch")
+	}
+	oh := ConvOutputSize(h, kh, stride, pad)
+	ow := ConvOutputSize(ww, kw, stride, pad)
+	out := New(oh, ow)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			s := 0.0
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						iy := oy*stride - pad + ky
+						ix := ox*stride - pad + kx
+						if iy < 0 || iy >= h || ix < 0 || ix >= ww {
+							continue
+						}
+						s += in.At(ch, iy, ix) * w.At(ch, ky, kx)
+					}
+				}
+			}
+			out.Set(s, oy, ox)
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		c := 1 + rng.Intn(3)
+		h := 3 + rng.Intn(6)
+		w := 3 + rng.Intn(6)
+		kh := 1 + rng.Intn(3)
+		kw := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		in := New(c, h, w)
+		for i := range in.Data() {
+			in.Data()[i] = rng.NormFloat64()
+		}
+		weights := New(c, kh, kw)
+		for i := range weights.Data() {
+			weights.Data()[i] = rng.NormFloat64()
+		}
+		cols, err := Im2Col(in, kh, kw, stride, pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wRow := weights.MustReshape(1, c*kh*kw)
+		got, err := MatMul(wRow, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveConv(in, weights, stride, pad)
+		for i := range got.Data() {
+			if !almostEqual(got.Data()[i], want.Data()[i], 1e-10) {
+				t.Fatalf("trial %d: im2col conv mismatch at %d: got %v want %v (c=%d h=%d w=%d k=%dx%d s=%d p=%d)",
+					trial, i, got.Data()[i], want.Data()[i], c, h, w, kh, kw, stride, pad)
+			}
+		}
+	}
+}
+
+func TestIm2ColShape(t *testing.T) {
+	in := New(2, 12, 12)
+	cols, err := Im2Col(in, 3, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Dim(0) != 2*3*3 || cols.Dim(1) != 12*12 {
+		t.Fatalf("im2col shape %v, want [18 144]", cols.Shape())
+	}
+}
+
+func TestIm2ColErrors(t *testing.T) {
+	if _, err := Im2Col(New(2, 2), 3, 3, 1, 1); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if _, err := Im2Col(New(1, 4, 4), 0, 3, 1, 1); err == nil {
+		t.Fatal("expected bad kernel error")
+	}
+	if _, err := Im2Col(New(1, 2, 2), 5, 5, 1, 0); err == nil {
+		t.Fatal("expected kernel-too-large error")
+	}
+	if _, err := Im2Col(New(1, 4, 4), 3, 3, 0, 1); err == nil {
+		t.Fatal("expected bad stride error")
+	}
+}
+
+// Col2Im must be the adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)>.
+// This is precisely what backprop through the convolution requires.
+func TestCol2ImIsAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := 1 + r.Intn(2)
+		h := 3 + r.Intn(4)
+		w := 3 + r.Intn(4)
+		kh, kw := 1+r.Intn(3), 1+r.Intn(3)
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		x := New(c, h, w)
+		for i := range x.Data() {
+			x.Data()[i] = r.NormFloat64()
+		}
+		cols, err := Im2Col(x, kh, kw, stride, pad)
+		if err != nil {
+			return true // geometry invalid for these params; skip
+		}
+		y := New(cols.Dim(0), cols.Dim(1))
+		for i := range y.Data() {
+			y.Data()[i] = r.NormFloat64()
+		}
+		lhs, _ := cols.Dot(y)
+		back, err := Col2Im(y, c, h, w, kh, kw, stride, pad)
+		if err != nil {
+			return false
+		}
+		rhs, _ := x.Dot(back)
+		return almostEqual(lhs, rhs, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImErrors(t *testing.T) {
+	if _, err := Col2Im(New(3), 1, 4, 4, 3, 3, 1, 1); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if _, err := Col2Im(New(5, 5), 1, 4, 4, 3, 3, 1, 1); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestConvOutputSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{12, 3, 1, 1, 12}, // "same" conv from the paper's Table 1
+		{12, 2, 2, 0, 6},  // 2x2 max-pool
+		{6, 2, 2, 0, 3},
+		{100, 3, 1, 0, 98},
+	}
+	for _, c := range cases {
+		if got := ConvOutputSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutputSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a new (m, n) tensor holding the product of a (m, k) and
+// b (k, n). Both operands must be rank-2.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: matmul needs rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmul inner dimension mismatch %v x %v", a.shape, b.shape)
+	}
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out, nil
+}
+
+// MatMulInto computes out = a · b for rank-2 operands, reusing out's buffer.
+func MatMulInto(out, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		return fmt.Errorf("tensor: matmulinto needs rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		return fmt.Errorf("tensor: matmulinto shape mismatch %v x %v -> %v", a.shape, b.shape, out.shape)
+	}
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return nil
+}
+
+// matmulInto writes a(m×k)·b(k×n) into out using an ikj loop order so the
+// inner loop streams both b and out rows; this is the usual cache-friendly
+// pure-Go kernel.
+func matmulInto(out, a, b []float64, m, k, n int) {
+	for i := range out[:m*n] {
+		out[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns a new tensor holding the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: transpose needs rank-2 operand, got %v", a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// MatVec returns a·x for a rank-2 a (m, k) and rank-1 x (k).
+func MatVec(a, x *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("tensor: matvec needs (2,1)-rank operands, got %v and %v", a.shape, x.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		return nil, fmt.Errorf("tensor: matvec dimension mismatch %v x %v", a.shape, x.shape)
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out, nil
+}
+
+// MatMulATInto computes out = aᵀ · b for a (k, m) and b (k, n) without
+// materializing the transpose; out must be (m, n). Used by convolution
+// backward to form input gradients.
+func MatMulATInto(out, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		return fmt.Errorf("tensor: matmulATinto needs rank-2 operands")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		return fmt.Errorf("tensor: matmulATinto shape mismatch %vᵀ x %v -> %v", a.shape, b.shape, out.shape)
+	}
+	od := out.data
+	for i := range od[:m*n] {
+		od[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulBTAddInto computes out += a · bᵀ for a (m, k) and b (n, k) without
+// materializing the transpose; out must be (m, n). Used by convolution
+// backward to accumulate weight gradients.
+func MatMulBTAddInto(out, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		return fmt.Errorf("tensor: matmulBTaddinto needs rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		return fmt.Errorf("tensor: matmulBTaddinto shape mismatch %v x %vᵀ -> %v", a.shape, b.shape, out.shape)
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] += s
+		}
+	}
+	return nil
+}
+
+// Im2ColInto is Im2Col writing into a preallocated (C*KH*KW, OH*OW) tensor.
+func Im2ColInto(out, in *Tensor, kh, kw, stride, pad int) error {
+	if in.Rank() != 3 || out.Rank() != 2 {
+		return fmt.Errorf("tensor: im2colinto rank mismatch")
+	}
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 || out.shape[0] != c*kh*kw || out.shape[1] != oh*ow {
+		return fmt.Errorf("tensor: im2colinto geometry mismatch")
+	}
+	im2colInto(out.data, in.data, c, h, w, kh, kw, stride, pad, oh, ow)
+	return nil
+}
+
+// Col2ImInto is Col2Im accumulating into a preallocated zeroed (C, H, W)
+// tensor. The destination is zeroed first.
+func Col2ImInto(out, cols *Tensor, kh, kw, stride, pad int) error {
+	if out.Rank() != 3 || cols.Rank() != 2 {
+		return fmt.Errorf("tensor: col2iminto rank mismatch")
+	}
+	c, h, w := out.shape[0], out.shape[1], out.shape[2]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 || cols.shape[0] != c*kh*kw || cols.shape[1] != oh*ow {
+		return fmt.Errorf("tensor: col2iminto geometry mismatch")
+	}
+	out.Zero()
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					src := row + oy*ow
+					dstRow := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							out.data[dstRow+ix] += cols.data[src+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

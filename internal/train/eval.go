@@ -1,0 +1,78 @@
+package train
+
+import (
+	"fmt"
+
+	"hotspot/internal/nn"
+	"hotspot/internal/tensor"
+)
+
+// Metrics summarizes classification quality on a sample set using the
+// paper's definitions: Accuracy (Definition 1) is hotspot recall — correctly
+// predicted hotspots over all real hotspots — and FalseAlarms (Definition 2)
+// counts non-hotspots predicted as hotspots.
+type Metrics struct {
+	// Recall is the paper's "Accuracy": TP / (TP + FN).
+	Recall float64
+	// FalseAlarms is the absolute count of false positives.
+	FalseAlarms int
+	// Accuracy is overall correctness (TP+TN)/N, used for validation-based
+	// stopping.
+	Accuracy float64
+	// TP, FP, TN, FN are the confusion-matrix counts.
+	TP, FP, TN, FN int
+}
+
+// PredictProb runs one sample through the network in inference mode and
+// returns the softmax probability of the hotspot class (y(1) in the
+// paper's notation).
+func PredictProb(net *nn.Network, x *tensor.Tensor) (float64, error) {
+	out, err := net.Forward(x, false)
+	if err != nil {
+		return 0, err
+	}
+	p, err := nn.Softmax(out)
+	if err != nil {
+		return 0, err
+	}
+	if p.Len() != 2 {
+		return 0, fmt.Errorf("train: classifier emitted %d outputs, want 2", p.Len())
+	}
+	return p.At(1), nil
+}
+
+// Decide applies the (optionally shifted) decision rule of Equations (9)
+// and (11): hotspot when y(1) > 0.5 − shift. shift = 0 is the standard
+// boundary; shift > 0 trades false alarms for recall.
+func Decide(probHot, shift float64) bool { return probHot > 0.5-shift }
+
+// EvalSet computes Metrics over a sample set with the given boundary shift.
+func EvalSet(net *nn.Network, samples []Sample, shift float64) (Metrics, error) {
+	if len(samples) == 0 {
+		return Metrics{}, fmt.Errorf("train: empty evaluation set")
+	}
+	var m Metrics
+	for _, s := range samples {
+		p, err := PredictProb(net, s.X)
+		if err != nil {
+			return Metrics{}, err
+		}
+		pred := Decide(p, shift)
+		switch {
+		case pred && s.Hotspot:
+			m.TP++
+		case pred && !s.Hotspot:
+			m.FP++
+		case !pred && !s.Hotspot:
+			m.TN++
+		default:
+			m.FN++
+		}
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	m.FalseAlarms = m.FP
+	m.Accuracy = float64(m.TP+m.TN) / float64(len(samples))
+	return m, nil
+}

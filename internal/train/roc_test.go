@@ -1,0 +1,87 @@
+package train
+
+import (
+	"testing"
+)
+
+func TestROCEndpointsAndMonotonicity(t *testing.T) {
+	samples := toyProblem(200, 31)
+	net := toyNet(t, 91)
+	trainSet, valSet, _ := Split(samples, 0.25, 7)
+	cfg := quickCfg()
+	if _, err := MGD(net, trainSet, valSet, cfg); err != nil {
+		t.Fatal(err)
+	}
+	points, err := ROC(net, valSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("only %d ROC points", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Fatalf("ROC must start at origin, got (%v, %v)", first.FPR, first.TPR)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("ROC must end at (1,1), got (%v, %v)", last.FPR, last.TPR)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].TPR < points[i-1].TPR || points[i].FPR < points[i-1].FPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+}
+
+func TestAUCOfTrainedModelBeatsChance(t *testing.T) {
+	samples := toyProblem(200, 32)
+	net := toyNet(t, 92)
+	trainSet, valSet, _ := Split(samples, 0.25, 8)
+	if _, err := MGD(net, trainSet, valSet, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	points, err := ROC(net, valSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := AUC(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("trained AUC %.2f, want >= 0.85", auc)
+	}
+	// Untrained model: AUC near 0.5.
+	fresh := toyNet(t, 93)
+	points, err = ROC(fresh, valSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc0, err := AUC(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc0 < 0.2 || auc0 > 0.8 {
+		t.Fatalf("untrained AUC %.2f suspiciously far from chance", auc0)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	net := toyNet(t, 94)
+	if _, err := ROC(net, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	oneClass := toyProblem(20, 33)
+	for i := range oneClass {
+		oneClass[i].Hotspot = true
+	}
+	if _, err := ROC(net, oneClass); err == nil {
+		t.Fatal("expected one-class error")
+	}
+	if _, err := AUC(nil); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	if _, err := AUC([]ROCPoint{{FPR: 1}, {FPR: 0}}); err == nil {
+		t.Fatal("expected unsorted error")
+	}
+}
