@@ -38,7 +38,7 @@ func ablationRun(b *testing.B, mutate func(*core.Config)) {
 		if _, err := det.Train(ds.Train, ds.Core()); err != nil {
 			b.Fatal(err)
 		}
-		testT, err := dataset.TensorSamples(ds.Test, ds.Core(), cfg.Feature)
+		testT, err := dataset.TensorSamples(ds.Test, ds.Core(), cfg.Feature, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,22 +16,25 @@ import (
 	"strings"
 
 	"hotspot/internal/experiments"
+	"hotspot/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-bench: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, all")
-		scale  = flag.Float64("scale", 0.008, "fraction of the paper's sample counts")
-		seed   = flag.Int64("seed", 1, "generation/training seed")
-		iters  = flag.Int("iters", 800, "initial-round MGD iterations")
-		cache  = flag.String("cache", "", "suite cache directory (strongly recommended)")
-		benchs = flag.String("benchmarks", "", "comma-separated Table 2 benchmarks (default: all four)")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, all")
+		scale   = flag.Float64("scale", 0.008, "fraction of the paper's sample counts")
+		seed    = flag.Int64("seed", 1, "generation/training seed")
+		iters   = flag.Int("iters", 800, "initial-round MGD iterations")
+		cache   = flag.String("cache", "", "suite cache directory (strongly recommended)")
+		benchs  = flag.String("benchmarks", "", "comma-separated Table 2 benchmarks (default: all four)")
+		workers = flag.Int("workers", 0, "worker goroutines for generation, training and evaluation (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefault(*workers)
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, CacheDir: *cache, Iters: *iters}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, CacheDir: *cache, Iters: *iters, Workers: *workers}
 	run := func(name string) {
 		switch name {
 		case "table1":

@@ -17,17 +17,21 @@ import (
 	"hotspot/internal/core"
 	"hotspot/internal/dataset"
 	"hotspot/internal/eval"
+	"hotspot/internal/parallel"
+	"hotspot/internal/train"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-eval: ")
 	var (
-		data  = flag.String("data", "", "suite file written by hsd-gen (required)")
-		model = flag.String("model", "", "model file written by hsd-train (required)")
-		shift = flag.Float64("shift", 0, "decision-boundary shift λ (Equation (11))")
+		data    = flag.String("data", "", "suite file written by hsd-gen (required)")
+		model   = flag.String("model", "", "model file written by hsd-train (required)")
+		shift   = flag.Float64("shift", 0, "decision-boundary shift λ (Equation (11))")
+		workers = flag.Int("workers", 0, "worker goroutines for extraction and inference (0 = GOMAXPROCS); metrics are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefault(*workers)
 	if *data == "" || *model == "" {
 		log.Fatal("-data and -model are required")
 	}
@@ -52,23 +56,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tp, fp, fn := 0, 0, 0
 	start := time.Now()
-	for _, s := range ds.Test {
-		pred, err := det.Detect(s.Clip, ds.Core(), *shift)
-		if err != nil {
-			log.Fatal(err)
-		}
-		switch {
-		case pred && s.Hotspot:
-			tp++
-		case pred && !s.Hotspot:
-			fp++
-		case !pred && s.Hotspot:
-			fn++
-		}
+	testT, err := dataset.TensorSamples(ds.Test, ds.Core(), det.Config().Feature, *workers)
+	if err != nil {
+		log.Fatal(err)
 	}
-	res, err := eval.NewResult("Ours", ds.Name, tp, fp, fn, time.Since(start))
+	ev, err := train.NewEvaluator(det.Network(), *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := ev.EvalSet(testT, *shift)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eval.NewResult("Ours", ds.Name, m.TP, m.FP, m.FN, time.Since(start))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"hotspot/internal/dataset"
 	"hotspot/internal/layout"
 	"hotspot/internal/litho"
+	"hotspot/internal/parallel"
 )
 
 func main() {
@@ -31,8 +32,10 @@ func main() {
 		out      = flag.String("out", "", "output file (gob); required unless -rate-only")
 		rateOnly = flag.Bool("rate-only", false, "only estimate the style's raw hotspot rate and exit")
 		rateN    = flag.Int("rate-n", 300, "candidates for -rate-only estimation")
+		workers  = flag.Int("workers", 0, "worker goroutines for generation and labelling (0 = GOMAXPROCS); output is identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefault(*workers)
 
 	style, err := layout.StyleByName(*bench)
 	if err != nil {
@@ -60,7 +63,7 @@ func main() {
 		style.Name, *scale, scaled.TrainHS, scaled.TrainNHS, scaled.TestHS, scaled.TestNHS)
 
 	start := time.Now()
-	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: *seed})
+	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: *seed, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,20 +15,23 @@ import (
 
 	"hotspot/internal/core"
 	"hotspot/internal/dataset"
+	"hotspot/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-train: ")
 	var (
-		data   = flag.String("data", "", "suite file written by hsd-gen (required)")
-		out    = flag.String("out", "model.gob", "output model file")
-		iters  = flag.Int("iters", 0, "override initial-round MGD iterations")
-		rounds = flag.Int("rounds", 0, "override biased-learning rounds t")
-		lr     = flag.Float64("lr", 0, "override initial learning rate λ")
-		seed   = flag.Int64("seed", 0, "override training seed")
+		data    = flag.String("data", "", "suite file written by hsd-gen (required)")
+		out     = flag.String("out", "model.gob", "output model file")
+		iters   = flag.Int("iters", 0, "override initial-round MGD iterations")
+		rounds  = flag.Int("rounds", 0, "override biased-learning rounds t")
+		lr      = flag.Float64("lr", 0, "override initial learning rate λ")
+		seed    = flag.Int64("seed", 0, "override training seed")
+		workers = flag.Int("workers", 0, "worker goroutines for extraction, gradients and validation (0 = GOMAXPROCS); the trained model is identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefault(*workers)
 	if *data == "" {
 		log.Fatal("-data is required")
 	}
@@ -46,6 +49,7 @@ func main() {
 	fmt.Printf("suite %s: train %d HS / %d NHS\n", ds.Name, hs, nhs)
 
 	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 	if *iters > 0 {
 		cfg.Biased.Initial.MaxIters = *iters
 		cfg.Biased.Initial.ValEvery = *iters / 10

@@ -36,11 +36,11 @@ func main() {
 		BalanceClasses: true, Seed: 7,
 	}
 	ds := dataset.FromSuite(suite, style)
-	tens, err := dataset.TensorSamples(ds.Train, ds.Core(), feature.DefaultTensorConfig())
+	tens, err := dataset.TensorSamples(ds.Train, ds.Core(), feature.DefaultTensorConfig(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	testT, err := dataset.TensorSamples(ds.Test, ds.Core(), feature.DefaultTensorConfig())
+	testT, err := dataset.TensorSamples(ds.Test, ds.Core(), feature.DefaultTensorConfig(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func TrainSPIE15(samples []layout.Sample, core geom.Rect, cfg SPIE15Config) (*SP
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("baseline: SPIE15 rounds must be positive")
 	}
-	X, y, err := dataset.DensityMatrix(samples, core, cfg.Density)
+	X, y, err := dataset.DensityMatrix(samples, core, cfg.Density, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +106,7 @@ func TrainICCAD16(samples []layout.Sample, core geom.Rect, cfg ICCAD16Config) (*
 	if cfg.SelectTop <= 0 || cfg.Rounds <= 0 || cfg.MIBins < 2 {
 		return nil, fmt.Errorf("baseline: ICCAD16 invalid config")
 	}
-	X, y, err := dataset.CCSMatrix(samples, core, cfg.CCS)
+	X, y, err := dataset.CCSMatrix(samples, core, cfg.CCS, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,11 @@ type Config struct {
 	AugmentVariants int
 	// Seed drives the train/validation split.
 	Seed int64
+	// Workers bounds the goroutines used for feature extraction, gradient
+	// computation and evaluation (0 = parallel.Default()). Any value
+	// produces identical results; this is purely a throughput knob. When
+	// non-zero it overrides the Workers fields of the nested MGD configs.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper at laptop scale: the Table 1 network on
@@ -164,16 +169,16 @@ func (d *Detector) Train(samples []layout.Sample, core geom.Rect) (*TrainReport,
 			trainClips = append(trainClips, samples[j])
 		}
 	}
-	trainT, err := dataset.AugmentedTensorSamples(trainClips, core, d.cfg.Feature, d.cfg.AugmentVariants)
+	trainT, err := dataset.AugmentedTensorSamples(trainClips, core, d.cfg.Feature, d.cfg.AugmentVariants, d.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	valT, err := dataset.TensorSamples(valClips, core, d.cfg.Feature)
+	valT, err := dataset.TensorSamples(valClips, core, d.cfg.Feature, d.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	rounds, err := train.BiasedLearning(d.net, trainT, valT, d.cfg.Biased)
+	rounds, err := train.BiasedLearning(d.net, trainT, valT, d.biasedConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +200,7 @@ func (d *Detector) TrainTensors(samples []train.Sample) (*TrainReport, error) {
 		return nil, err
 	}
 	start := time.Now()
-	rounds, err := train.BiasedLearning(d.net, trainSet, valSet, d.cfg.Biased)
+	rounds, err := train.BiasedLearning(d.net, trainSet, valSet, d.biasedConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +210,17 @@ func (d *Detector) TrainTensors(samples []train.Sample) (*TrainReport, error) {
 		ValSamples:   len(valSet),
 		Elapsed:      time.Since(start),
 	}, nil
+}
+
+// biasedConfig returns the training schedule with Config.Workers threaded
+// into the nested MGD configurations (when set).
+func (d *Detector) biasedConfig() train.BiasedConfig {
+	cfg := d.cfg.Biased
+	if d.cfg.Workers != 0 {
+		cfg.Initial.Workers = d.cfg.Workers
+		cfg.FineTune.Workers = d.cfg.Workers
+	}
+	return cfg
 }
 
 // Predict returns the hotspot probability of one clip.
@@ -225,26 +241,40 @@ func (d *Detector) Detect(c geom.Clip, core geom.Rect, shift float64) (bool, err
 	return train.Decide(p, shift), nil
 }
 
-// Evaluate scores a labelled test set and returns the Table 2 row. The
-// reported CPU time covers feature extraction and network inference —
-// the detector's full testing cost.
+// Evaluate scores a labelled test set and returns the Table 2 row. Feature
+// extraction and inference both fan across Config.Workers goroutines; the
+// reported time is the wall clock of that full testing pipeline, and the
+// confusion counts are identical to a serial evaluation.
 func (d *Detector) Evaluate(samples []layout.Sample, core geom.Rect, benchmark string) (eval.Result, error) {
 	if len(samples) == 0 {
 		return eval.Result{}, fmt.Errorf("core: empty test set")
 	}
-	tp, fp, fn := 0, 0, 0
 	start := time.Now()
-	for _, s := range samples {
-		pred, err := d.Detect(s.Clip, core, 0)
-		if err != nil {
-			return eval.Result{}, err
-		}
+	clips := make([]geom.Clip, len(samples))
+	for i, s := range samples {
+		clips[i] = s.Clip
+	}
+	xs, err := feature.ExtractTensors(clips, core, d.cfg.Feature, d.cfg.Workers)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	ev, err := train.NewEvaluator(d.net, d.cfg.Workers)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	probs, err := ev.PredictProbs(xs)
+	if err != nil {
+		return eval.Result{}, err
+	}
+	tp, fp, fn := 0, 0, 0
+	for i, p := range probs {
+		pred := train.Decide(p, 0)
 		switch {
-		case pred && s.Hotspot:
+		case pred && samples[i].Hotspot:
 			tp++
-		case pred && !s.Hotspot:
+		case pred && !samples[i].Hotspot:
 			fp++
-		case !pred && s.Hotspot:
+		case !pred && samples[i].Hotspot:
 			fn++
 		}
 	}

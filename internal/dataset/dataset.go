@@ -13,6 +13,7 @@ import (
 	"hotspot/internal/feature"
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/parallel"
 	"hotspot/internal/train"
 )
 
@@ -64,45 +65,61 @@ func Load(r io.Reader) (*Dataset, error) {
 }
 
 // TensorSamples extracts the feature tensor of every clip's core,
-// producing CNN training samples.
-func TensorSamples(samples []layout.Sample, core geom.Rect, cfg feature.TensorConfig) ([]train.Sample, error) {
+// producing CNN training samples. Extraction fans across workers
+// goroutines (0 = parallel.Default()); the output order — and every tensor
+// in it — is identical under any worker count.
+func TensorSamples(samples []layout.Sample, core geom.Rect, cfg feature.TensorConfig, workers int) ([]train.Sample, error) {
 	out := make([]train.Sample, len(samples))
-	for i, s := range samples {
-		ft, err := feature.ExtractTensor(s.Clip, core, cfg)
+	err := parallel.New(workers).For(len(samples), func(_, i int) error {
+		ft, err := feature.ExtractTensor(samples[i].Clip, core, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+			return fmt.Errorf("dataset: sample %d: %w", i, err)
 		}
-		out[i] = train.Sample{X: ft, Hotspot: s.Hotspot}
+		out[i] = train.Sample{X: ft, Hotspot: samples[i].Hotspot}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// DensityMatrix extracts SPIE'15 density features for every sample.
-func DensityMatrix(samples []layout.Sample, core geom.Rect, cfg feature.DensityConfig) ([][]float64, []bool, error) {
+// DensityMatrix extracts SPIE'15 density features for every sample across
+// workers goroutines (0 = parallel.Default()).
+func DensityMatrix(samples []layout.Sample, core geom.Rect, cfg feature.DensityConfig, workers int) ([][]float64, []bool, error) {
 	X := make([][]float64, len(samples))
 	y := make([]bool, len(samples))
-	for i, s := range samples {
-		v, err := feature.ExtractDensity(s.Clip, core, cfg)
+	err := parallel.New(workers).For(len(samples), func(_, i int) error {
+		v, err := feature.ExtractDensity(samples[i].Clip, core, cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+			return fmt.Errorf("dataset: sample %d: %w", i, err)
 		}
 		X[i] = v
-		y[i] = s.Hotspot
+		y[i] = samples[i].Hotspot
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return X, y, nil
 }
 
-// CCSMatrix extracts ICCAD'16 concentric-circle features for every sample.
-func CCSMatrix(samples []layout.Sample, core geom.Rect, cfg feature.CCSConfig) ([][]float64, []bool, error) {
+// CCSMatrix extracts ICCAD'16 concentric-circle features for every sample
+// across workers goroutines (0 = parallel.Default()).
+func CCSMatrix(samples []layout.Sample, core geom.Rect, cfg feature.CCSConfig, workers int) ([][]float64, []bool, error) {
 	X := make([][]float64, len(samples))
 	y := make([]bool, len(samples))
-	for i, s := range samples {
-		v, err := feature.ExtractCCS(s.Clip, core, cfg)
+	err := parallel.New(workers).For(len(samples), func(_, i int) error {
+		v, err := feature.ExtractCCS(samples[i].Clip, core, cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+			return fmt.Errorf("dataset: sample %d: %w", i, err)
 		}
 		X[i] = v
-		y[i] = s.Hotspot
+		y[i] = samples[i].Hotspot
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return X, y, nil
 }
@@ -138,39 +155,43 @@ func dihedral(r geom.Rect, win, op int) geom.Rect {
 // centred — so augmentation multiplies the effective training set without
 // new lithography runs. The paper trains on industrial-scale suites; at
 // reduced scale augmentation recovers some of that data volume (a noted
-// deviation, applied to training data only).
-func AugmentedTensorSamples(samples []layout.Sample, core geom.Rect, cfg feature.TensorConfig, variants int) ([]train.Sample, error) {
+// deviation, applied to training data only). Extraction fans one task per
+// (clip, symmetry) pair across workers goroutines (0 = parallel.Default());
+// output order is clip-major, identical to the serial loop.
+func AugmentedTensorSamples(samples []layout.Sample, core geom.Rect, cfg feature.TensorConfig, variants, workers int) ([]train.Sample, error) {
 	if variants < 1 || variants > 8 {
 		return nil, fmt.Errorf("dataset: augmentation variants %d outside [1, 8]", variants)
 	}
-	out := make([]train.Sample, 0, len(samples)*variants)
-	for i, s := range samples {
+	out := make([]train.Sample, len(samples)*variants)
+	err := parallel.New(workers).For(len(out), func(_, task int) error {
+		i, op := task/variants, task%variants
+		s := samples[i]
 		win := s.Clip.Frame.W()
 		if s.Clip.Frame.H() != win || s.Clip.Frame.X0 != 0 || s.Clip.Frame.Y0 != 0 {
 			// Normalize so symmetry maths applies.
 			s.Clip = s.Clip.Normalize()
 			win = s.Clip.Frame.W()
 			if s.Clip.Frame.H() != win {
-				return nil, fmt.Errorf("dataset: sample %d frame not square", i)
+				return fmt.Errorf("dataset: sample %d frame not square", i)
 			}
 		}
-		for op := 0; op < variants; op++ {
-			var c geom.Clip
-			if op == 0 {
-				c = s.Clip
-			} else {
-				rects := make([]geom.Rect, len(s.Clip.Rects))
-				for j, r := range s.Clip.Rects {
-					rects[j] = dihedral(r, win, op)
-				}
-				c = geom.Clip{Frame: s.Clip.Frame, Rects: rects}
+		c := s.Clip
+		if op != 0 {
+			rects := make([]geom.Rect, len(s.Clip.Rects))
+			for j, r := range s.Clip.Rects {
+				rects[j] = dihedral(r, win, op)
 			}
-			ft, err := feature.ExtractTensor(c, core, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: sample %d variant %d: %w", i, op, err)
-			}
-			out = append(out, train.Sample{X: ft, Hotspot: s.Hotspot})
+			c = geom.Clip{Frame: s.Clip.Frame, Rects: rects}
 		}
+		ft, err := feature.ExtractTensor(c, core, cfg)
+		if err != nil {
+			return fmt.Errorf("dataset: sample %d variant %d: %w", i, op, err)
+		}
+		out[task] = train.Sample{X: ft, Hotspot: s.Hotspot}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -90,7 +90,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 func TestTensorSamples(t *testing.T) {
 	ds := testDataset(t)
 	cfg := feature.TensorConfig{Blocks: 12, K: 16, ResNM: 4, Normalize: true}
-	ts, err := TensorSamples(ds.Train, ds.Core(), cfg)
+	ts, err := TensorSamples(ds.Train, ds.Core(), cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestTensorSamples(t *testing.T) {
 	// Invalid config surfaces the error with context.
 	bad := cfg
 	bad.ResNM = 7
-	if _, err := TensorSamples(ds.Train, ds.Core(), bad); err == nil {
+	if _, err := TensorSamples(ds.Train, ds.Core(), bad, 0); err == nil {
 		t.Fatal("expected extraction error")
 	}
 }
@@ -117,7 +117,7 @@ func TestTensorSamples(t *testing.T) {
 func TestDensityMatrix(t *testing.T) {
 	ds := testDataset(t)
 	cfg := feature.DensityConfig{Grid: 12, ResNM: 4}
-	X, y, err := DensityMatrix(ds.Train, ds.Core(), cfg)
+	X, y, err := DensityMatrix(ds.Train, ds.Core(), cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestDensityMatrix(t *testing.T) {
 	}
 	bad := cfg
 	bad.Grid = 7
-	if _, _, err := DensityMatrix(ds.Train, ds.Core(), bad); err == nil {
+	if _, _, err := DensityMatrix(ds.Train, ds.Core(), bad, 0); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -137,7 +137,7 @@ func TestDensityMatrix(t *testing.T) {
 func TestCCSMatrix(t *testing.T) {
 	ds := testDataset(t)
 	cfg := feature.DefaultCCSConfig()
-	X, y, err := CCSMatrix(ds.Train, ds.Core(), cfg)
+	X, y, err := CCSMatrix(ds.Train, ds.Core(), cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestLabels(t *testing.T) {
 func TestAugmentedTensorSamples(t *testing.T) {
 	ds := testDataset(t)
 	cfg := feature.TensorConfig{Blocks: 4, K: 8, ResNM: 4, Normalize: true}
-	aug, err := AugmentedTensorSamples(ds.Train, ds.Core(), cfg, 8)
+	aug, err := AugmentedTensorSamples(ds.Train, ds.Core(), cfg, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestAugmentedTensorSamples(t *testing.T) {
 		}
 	}
 	// Variant 0 equals the plain extraction.
-	plain, err := TensorSamples(ds.Train, ds.Core(), cfg)
+	plain, err := TensorSamples(ds.Train, ds.Core(), cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +197,10 @@ func TestAugmentedTensorSamples(t *testing.T) {
 			}
 		}
 	}
-	if _, err := AugmentedTensorSamples(ds.Train, ds.Core(), cfg, 0); err == nil {
+	if _, err := AugmentedTensorSamples(ds.Train, ds.Core(), cfg, 0, 0); err == nil {
 		t.Fatal("expected variants range error")
 	}
-	if _, err := AugmentedTensorSamples(ds.Train, ds.Core(), cfg, 9); err == nil {
+	if _, err := AugmentedTensorSamples(ds.Train, ds.Core(), cfg, 9, 0); err == nil {
 		t.Fatal("expected variants range error")
 	}
 }

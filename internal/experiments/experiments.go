@@ -30,6 +30,10 @@ type Options struct {
 	// Iters is the initial-round MGD iteration budget (scaled schedules
 	// derive from it).
 	Iters int
+	// Workers bounds the goroutines used for suite generation, feature
+	// extraction, training and evaluation (0 = parallel.Default()).
+	// Results are identical under any worker count.
+	Workers int
 }
 
 // DefaultOptions returns the scale used by the checked-in harness: class
@@ -81,7 +85,7 @@ func LoadSuite(name string, opts Options) (*dataset.Dataset, error) {
 		}
 	}
 
-	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: opts.Seed})
+	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -119,16 +123,17 @@ func DetectorConfig(opts Options) core.Config {
 	fine.ValEvery = maxInt(25, fine.MaxIters/6)
 	fine.DecayStep = maxInt(50, fine.MaxIters/2)
 	fine.Seed = opts.Seed + 128
+	cfg.Workers = opts.Workers
 	return cfg
 }
 
 // TensorSets extracts feature tensors for a suite's train and test halves.
 func TensorSets(ds *dataset.Dataset, cfg core.Config) (trainT, testT []train.Sample, err error) {
-	trainT, err = dataset.TensorSamples(ds.Train, ds.Core(), cfg.Feature)
+	trainT, err = dataset.TensorSamples(ds.Train, ds.Core(), cfg.Feature, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	testT, err = dataset.TensorSamples(ds.Test, ds.Core(), cfg.Feature)
+	testT, err = dataset.TensorSamples(ds.Test, ds.Core(), cfg.Feature, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"hotspot/internal/dct"
 	"hotspot/internal/geom"
+	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/tensor"
 )
@@ -106,6 +107,18 @@ func ExtractTensor(clip geom.Clip, core geom.Rect, cfg TensorConfig) (*tensor.Te
 		return nil, err
 	}
 	return extractFromImage(coreIm, b, cfg)
+}
+
+// ExtractTensors extracts the feature tensor of every clip's core window,
+// fanning the per-clip rasterization and blocked DCT across workers
+// goroutines (0 = parallel.Default()). Results are returned in input order
+// and are identical to calling ExtractTensor per clip: each extraction
+// depends only on its own clip, so worker count and scheduling cannot
+// change the output.
+func ExtractTensors(clips []geom.Clip, core geom.Rect, cfg TensorConfig, workers int) ([]*tensor.Tensor, error) {
+	return parallel.Map(parallel.New(workers), len(clips), func(_, i int) (*tensor.Tensor, error) {
+		return ExtractTensor(clips[i], core, cfg)
+	})
 }
 
 // extractFromImage runs block-DCT encoding over an already-rasterized core.

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"hotspot/internal/geom"
 	"hotspot/internal/litho"
+	"hotspot/internal/parallel"
 )
 
 // Sample is one labelled clip.
@@ -67,7 +66,7 @@ type BuildOptions struct {
 	// Seed drives all generation; the same seed yields the same suite
 	// regardless of parallelism.
 	Seed int64
-	// Workers bounds generation parallelism; 0 means GOMAXPROCS.
+	// Workers bounds generation parallelism; 0 means parallel.Default().
 	Workers int
 	// MaxAttempts bounds total candidate generation before giving up
 	// (guards against styles whose hotspot rate cannot satisfy the
@@ -98,10 +97,7 @@ func BuildSuite(style Style, counts Counts, opts BuildOptions) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := parallel.Workers(opts.Workers)
 	maxAttempts := opts.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 500 + 60*counts.Total()
@@ -146,40 +142,21 @@ func BuildSuite(style Style, counts Counts, opts BuildOptions) (*Suite, error) {
 	return suite, nil
 }
 
-// generateBatch produces labelled candidates for indices base..base+n-1 in
-// parallel, returned in index order.
+// generateBatch produces labelled candidates for indices base..base+n-1 on
+// the shared worker-pool substrate, returned in index order. Each candidate
+// is generated from its own RNG stream keyed by its global index, so the
+// batch is identical under any worker count; the litho labeller is
+// stateless and safe to share across workers.
 func generateBatch(style Style, labeler *Labeler, seed int64, base, n, workers int) ([]Sample, error) {
-	out := make([]Sample, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				rng := rand.New(rand.NewSource(seed + int64(base+i)*0x9e3779b9))
-				clip := Generate(style, rng)
-				rep, err := labeler.Label(clip)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				out[i] = Sample{Clip: clip, Hotspot: rep.Hotspot}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
+	return parallel.Map(parallel.New(workers), n, func(_, i int) (Sample, error) {
+		rng := rand.New(rand.NewSource(seed + int64(base+i)*0x9e3779b9))
+		clip := Generate(style, rng)
+		rep, err := labeler.Label(clip)
 		if err != nil {
-			return nil, err
+			return Sample{}, err
 		}
-	}
-	return out, nil
+		return Sample{Clip: clip, Hotspot: rep.Hotspot}, nil
+	})
 }
 
 // HotspotRate estimates the style's raw hotspot probability from n
@@ -189,7 +166,7 @@ func HotspotRate(style Style, n int, seed int64, cfg litho.Config) (float64, err
 	if err != nil {
 		return 0, err
 	}
-	batch, err := generateBatch(style, labeler, seed, 0, n, runtime.GOMAXPROCS(0))
+	batch, err := generateBatch(style, labeler, seed, 0, n, 0)
 	if err != nil {
 		return 0, err
 	}

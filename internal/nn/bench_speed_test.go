@@ -15,11 +15,31 @@ func BenchmarkPaperNetTrainStep(b *testing.B) {
 		x.Data()[i] = rng.NormFloat64()
 	}
 	target := tensor.MustFromSlice([]float64{1, 0}, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.ZeroGrads()
 		out, _ := net.Forward(x, true)
 		_, g, _ := SoftmaxCrossEntropy(out, target)
 		_ = net.Backward(g)
+	}
+}
+
+// BenchmarkPaperNetInference tracks the steady-state forward pass — the
+// per-clip testing cost — which the layer buffer reuse keeps allocation-free
+// after warm-up.
+func BenchmarkPaperNetInference(b *testing.B) {
+	net, _ := NewPaperNet(DefaultPaperNetConfig())
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(32, 12, 12)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

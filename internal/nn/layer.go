@@ -96,6 +96,22 @@ func (n *Network) ZeroGrads() {
 	}
 }
 
+// ReseedDropout resets every dropout layer's mask stream to a value derived
+// from seed (and the layer's position, so stacked dropout layers draw
+// distinct streams). Parallel training calls this before each sample's
+// forward pass with a seed derived from the sample's global index, which
+// makes dropout masks — and therefore gradients — independent of worker
+// assignment.
+func (n *Network) ReseedDropout(seed int64) {
+	k := int64(0)
+	for _, l := range n.layers {
+		if d, ok := l.(*Dropout); ok {
+			d.Reseed(seed + k*0x9e3779b9)
+			k++
+		}
+	}
+}
+
 // ParamCount returns the total number of learnable scalars.
 func (n *Network) ParamCount() int {
 	c := 0

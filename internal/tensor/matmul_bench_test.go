@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchOperands builds conv-shaped matmul operands (the paper net's
+// conv2-2 forward: (32, 288) x (288, 36)) with the given fraction of zeros
+// in a — the operand the sparse skip inspects.
+func benchOperands(zeroFrac float64) (out, a, b *Tensor) {
+	const m, k, n = 32, 288, 36
+	rng := rand.New(rand.NewSource(7))
+	a = New(m, k)
+	for i := range a.Data() {
+		if rng.Float64() < zeroFrac {
+			a.Data()[i] = 0
+		} else {
+			a.Data()[i] = rng.NormFloat64()
+		}
+	}
+	b = New(k, n)
+	for i := range b.Data() {
+		b.Data()[i] = rng.NormFloat64()
+	}
+	return New(m, n), a, b
+}
+
+func benchMatMul(bn *testing.B, zeroFrac float64) {
+	out, a, b := benchOperands(zeroFrac)
+	bn.ReportAllocs()
+	bn.ResetTimer()
+	for i := 0; i < bn.N; i++ {
+		if err := MatMulInto(out, a, b); err != nil {
+			bn.Fatal(err)
+		}
+	}
+}
+
+// Dense activations are the common case on the forward path (a holds
+// trained weights) — the sparse skip must not cost anything here.
+func BenchmarkMatMulIntoDense(b *testing.B) { benchMatMul(b, 0) }
+
+// Post-ReLU gradient rows are roughly half zeros; the skip should win.
+func BenchmarkMatMulIntoHalfSparse(b *testing.B) { benchMatMul(b, 0.5) }
+
+func BenchmarkMatMulIntoVerySparse(b *testing.B) { benchMatMul(b, 0.9) }
+
+func benchMatMulAT(bn *testing.B, zeroFrac float64) {
+	// MatMulATInto computes aᵀ·b for a (k, m) and b (k, n); in conv
+	// backward a is the output gradient, which ReLU sparsifies.
+	const k, m, n = 32, 288, 36
+	rng := rand.New(rand.NewSource(9))
+	a := New(k, m)
+	for i := range a.Data() {
+		if rng.Float64() < zeroFrac {
+			a.Data()[i] = 0
+		} else {
+			a.Data()[i] = rng.NormFloat64()
+		}
+	}
+	b := New(k, n)
+	for i := range b.Data() {
+		b.Data()[i] = rng.NormFloat64()
+	}
+	out := New(m, n)
+	bn.ReportAllocs()
+	bn.ResetTimer()
+	for i := 0; i < bn.N; i++ {
+		if err := MatMulATInto(out, a, b); err != nil {
+			bn.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulATIntoDense(b *testing.B)      { benchMatMulAT(b, 0) }
+func BenchmarkMatMulATIntoHalfSparse(b *testing.B) { benchMatMulAT(b, 0.5) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hotspot/internal/nn"
+	"hotspot/internal/parallel"
 	"hotspot/internal/tensor"
 )
 
@@ -46,24 +47,38 @@ func PredictProb(net *nn.Network, x *tensor.Tensor) (float64, error) {
 // boundary; shift > 0 trades false alarms for recall.
 func Decide(probHot, shift float64) bool { return probHot > 0.5-shift }
 
-// EvalSet computes Metrics over a sample set with the given boundary shift.
+// EvalSet computes Metrics over a sample set with the given boundary shift,
+// serially on the calling goroutine. For parallel scoring use an Evaluator.
 func EvalSet(net *nn.Network, samples []Sample, shift float64) (Metrics, error) {
+	return evalSetOn([]*nn.Network{net}, parallel.New(1), samples, shift)
+}
+
+// evalSetOn scores samples across the pool; nets[w] is owned exclusively by
+// worker w for the duration of the call (inference mutates layer caches).
+// Predictions land in index-addressed slots, so the folded counts — and
+// with them every derived metric — are identical under any worker count.
+func evalSetOn(nets []*nn.Network, pool *parallel.Pool, samples []Sample, shift float64) (Metrics, error) {
 	if len(samples) == 0 {
 		return Metrics{}, fmt.Errorf("train: empty evaluation set")
 	}
-	var m Metrics
-	for _, s := range samples {
-		p, err := PredictProb(net, s.X)
+	preds, err := parallel.Map(pool, len(samples), func(worker, i int) (bool, error) {
+		p, err := PredictProb(nets[worker], samples[i].X)
 		if err != nil {
-			return Metrics{}, err
+			return false, err
 		}
-		pred := Decide(p, shift)
+		return Decide(p, shift), nil
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	var m Metrics
+	for i, pred := range preds {
 		switch {
-		case pred && s.Hotspot:
+		case pred && samples[i].Hotspot:
 			m.TP++
-		case pred && !s.Hotspot:
+		case pred && !samples[i].Hotspot:
 			m.FP++
-		case !pred && !s.Hotspot:
+		case !pred && !samples[i].Hotspot:
 			m.TN++
 		default:
 			m.FN++
@@ -75,4 +90,63 @@ func EvalSet(net *nn.Network, samples []Sample, shift float64) (Metrics, error) 
 	m.FalseAlarms = m.FP
 	m.Accuracy = float64(m.TP+m.TN) / float64(len(samples))
 	return m, nil
+}
+
+// Evaluator fans inference for one network across a worker pool. It owns
+// Size−1 replicas whose weights are re-synced from the wrapped network at
+// the start of every call, so it stays valid across training steps. The
+// wrapped network itself serves worker 0. Not safe for concurrent use; the
+// zero value is not usable — build one with NewEvaluator.
+type Evaluator struct {
+	nets []*nn.Network // nets[0] is the wrapped network
+	pool *parallel.Pool
+}
+
+// NewEvaluator builds an evaluator over net with the given worker count
+// (0 = parallel.Default()).
+func NewEvaluator(net *nn.Network, workers int) (*Evaluator, error) {
+	pool := parallel.New(workers)
+	nets := make([]*nn.Network, pool.Size())
+	nets[0] = net
+	for i := 1; i < len(nets); i++ {
+		r, err := net.Clone()
+		if err != nil {
+			return nil, err
+		}
+		nets[i] = r
+	}
+	return &Evaluator{nets: nets, pool: pool}, nil
+}
+
+// Workers returns the evaluator's worker count.
+func (e *Evaluator) Workers() int { return e.pool.Size() }
+
+func (e *Evaluator) sync() error {
+	for _, r := range e.nets[1:] {
+		if err := copyWeights(r, e.nets[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvalSet computes Metrics over a sample set with the given boundary
+// shift, fanning samples across the pool. Results are identical to the
+// serial EvalSet.
+func (e *Evaluator) EvalSet(samples []Sample, shift float64) (Metrics, error) {
+	if err := e.sync(); err != nil {
+		return Metrics{}, err
+	}
+	return evalSetOn(e.nets, e.pool, samples, shift)
+}
+
+// PredictProbs scores every input in parallel and returns the hotspot
+// probabilities in input order.
+func (e *Evaluator) PredictProbs(xs []*tensor.Tensor) ([]float64, error) {
+	if err := e.sync(); err != nil {
+		return nil, err
+	}
+	return parallel.Map(e.pool, len(xs), func(worker, i int) (float64, error) {
+		return PredictProb(e.nets[worker], xs[i])
+	})
 }

@@ -1,0 +1,194 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/nn"
+	"hotspot/internal/tensor"
+)
+
+// dropoutNet is a toy paper net WITH dropout active, so the parallel/serial
+// parity tests exercise the per-sample mask reseeding, not just the
+// deterministic layers.
+func dropoutNet(t *testing.T, seed int64) *nn.Network {
+	t.Helper()
+	net, err := nn.NewPaperNet(nn.PaperNetConfig{
+		InChannels: 2, SpatialSize: 4, Conv1Maps: 4, Conv2Maps: 4,
+		FC1: 8, DropoutRate: 0.5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// imbalancedToy builds a set with ~25% positives so balanced sampling has
+// distinct classes to draw from.
+func imbalancedToy(n int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	for i := range out {
+		x := tensor.New(2, 4, 4)
+		hot := i%4 == 0
+		for j := range x.Data() {
+			x.Data()[j] = rng.NormFloat64() * 0.3
+		}
+		if hot {
+			for j := 0; j < 16; j++ {
+				x.Data()[j] += 1
+			}
+		}
+		out[i] = Sample{X: x, Hotspot: hot}
+	}
+	return out
+}
+
+// TestMGDParallelMatchesSerial is the headline determinism regression: four
+// gradient workers must produce weights identical to one worker for the
+// same seed, in both sampling modes. Equality is exact — the index-ordered
+// reduction reproduces the serial accumulation bit for bit.
+func TestMGDParallelMatchesSerial(t *testing.T) {
+	for _, balance := range []bool{false, true} {
+		name := "uniform"
+		if balance {
+			name = "balanced"
+		}
+		t.Run(name, func(t *testing.T) {
+			samples := imbalancedToy(80, 17)
+			trainSet, valSet, err := Split(samples, 0.25, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := quickCfg()
+			cfg.MaxIters = 40
+			cfg.ValEvery = 10
+			cfg.BalanceClasses = balance
+
+			serial := dropoutNet(t, 23)
+			cfgS := cfg
+			cfgS.Workers = 1
+			histS, err := MGD(serial, trainSet, valSet, cfgS)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			par := dropoutNet(t, 23)
+			cfgP := cfg
+			cfgP.Workers = 4
+			histP, err := MGD(par, trainSet, valSet, cfgP)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sp, pp := serial.Params(), par.Params()
+			for i := range sp {
+				sd, pd := sp[i].W.Data(), pp[i].W.Data()
+				for j := range sd {
+					if diff := math.Abs(sd[j] - pd[j]); diff > 1e-12 {
+						t.Fatalf("%s: param %s[%d] diverged by %g (serial %v, parallel %v)",
+							name, sp[i].Name, j, diff, sd[j], pd[j])
+					}
+				}
+			}
+			if len(histS) != len(histP) {
+				t.Fatalf("history lengths differ: %d vs %d", len(histS), len(histP))
+			}
+			for i := range histS {
+				if histS[i].ValAccuracy != histP[i].ValAccuracy ||
+					histS[i].TrainLoss != histP[i].TrainLoss {
+					t.Fatalf("checkpoint %d differs: serial %+v, parallel %+v",
+						i, histS[i], histP[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMGDWorkerCountInvariance spot-checks a few more worker counts,
+// including more workers than batch positions.
+func TestMGDWorkerCountInvariance(t *testing.T) {
+	samples := imbalancedToy(40, 19)
+	trainSet, _, err := Split(samples, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.MaxIters = 15
+	cfg.ValEvery = 0
+	cfg.BatchSize = 4
+
+	ref := dropoutNet(t, 29)
+	cfgR := cfg
+	cfgR.Workers = 1
+	if _, err := MGD(ref, trainSet, nil, cfgR); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		net := dropoutNet(t, 29)
+		c := cfg
+		c.Workers = workers
+		if _, err := MGD(net, trainSet, nil, c); err != nil {
+			t.Fatal(err)
+		}
+		rp, np := ref.Params(), net.Params()
+		for i := range rp {
+			rd, nd := rp[i].W.Data(), np[i].W.Data()
+			for j := range rd {
+				if rd[j] != nd[j] {
+					t.Fatalf("workers=%d: param %s[%d] differs", workers, rp[i].Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorMatchesEvalSet: parallel inference must report the exact
+// metrics of the serial path, and stay correct after the wrapped network's
+// weights change (replica re-sync).
+func TestEvaluatorMatchesEvalSet(t *testing.T) {
+	samples := imbalancedToy(60, 31)
+	net := dropoutNet(t, 37)
+	ev, err := NewEvaluator(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		for _, shift := range []float64{0, 0.1} {
+			want, err := EvalSet(net, samples, shift)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ev.EvalSet(samples, shift)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != got {
+				t.Fatalf("%s shift=%v: evaluator %+v, serial %+v", stage, shift, got, want)
+			}
+		}
+	}
+	check("initial")
+	// Perturb weights through the wrapped net; replicas must follow.
+	for _, p := range net.Params() {
+		for j := range p.W.Data() {
+			p.W.Data()[j] += 0.05
+		}
+	}
+	check("after weight change")
+
+	probs, err := ev.PredictProbs([]*tensor.Tensor{samples[0].X, samples[1].X, samples[2].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want, err := PredictProb(net, samples[i].X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probs[i] != want {
+			t.Fatalf("PredictProbs[%d] = %v, serial %v", i, probs[i], want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hotspot/internal/nn"
+	"hotspot/internal/parallel"
 	"hotspot/internal/tensor"
 )
 
@@ -85,8 +86,15 @@ type MGDConfig struct {
 	// listing is almost certainly a typesetting artifact, so the default
 	// is the standard single update; this switch exists for ablation.
 	DoubleUpdate bool
-	// Seed drives batch sampling.
+	// Seed drives batch sampling and per-sample dropout masks.
 	Seed int64
+	// Workers bounds the number of goroutines computing per-sample
+	// gradients within a batch (and scoring validation samples). 0 means
+	// parallel.Default(). Trained weights are bit-identical under any
+	// worker count: sample draws, dropout masks and the gradient
+	// reduction order are all functions of (Seed, iteration, batch
+	// position), never of worker assignment.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -128,10 +136,51 @@ type Checkpoint struct {
 // History is the sequence of validation checkpoints of one run.
 type History []Checkpoint
 
+// sampleSeed derives the dropout seed for one training sample from the run
+// seed and the sample's global position counter ((iter−1)·BatchSize + b).
+// It is a splitmix64 finalizer, so nearby counters give uncorrelated
+// streams. Crucially it depends only on (seed, counter) — never on which
+// worker processes the sample — which is what makes parallel gradients
+// bit-identical to serial ones.
+func sampleSeed(seed, counter int64) int64 {
+	z := uint64(seed) + (uint64(counter)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// sampleGrad runs one training sample through net (forward, loss, backward)
+// with its dropout stream reseeded from the sample's global counter.
+// Gradients accumulate into net's current Param.Grad tensors.
+func sampleGrad(net *nn.Network, s Sample, yn, yh *tensor.Tensor, seed int64) (float64, error) {
+	target := yn
+	if s.Hotspot {
+		target = yh
+	}
+	net.ReseedDropout(seed)
+	out, err := net.Forward(s.X, true)
+	if err != nil {
+		return 0, err
+	}
+	loss, dlogits, err := nn.SoftmaxCrossEntropy(out, target)
+	if err != nil {
+		return 0, err
+	}
+	if err := net.Backward(dlogits); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
 // MGD trains net in place per Algorithm 1 and returns the validation
 // history. When validation is enabled the network is restored to the
 // best-accuracy snapshot before returning (the paper returns "the model
 // with the best performance on the validation set").
+//
+// With cfg.Workers > 1 the per-sample gradients of each batch are computed
+// concurrently on per-worker network replicas and reduced in batch-position
+// order; see DESIGN.md ("Concurrency model") for why the result is
+// bit-identical to the single-worker path.
 func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -162,6 +211,67 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 		}
 	}
 
+	// Worker setup. More replicas than batch positions can never help.
+	nW := parallel.Workers(cfg.Workers)
+	if nW > cfg.BatchSize {
+		nW = cfg.BatchSize
+	}
+	pool := parallel.New(nW)
+	masterParams := net.Params()
+	var (
+		replicas  []*nn.Network // worker-owned clones; master stays on this goroutine
+		repParams [][]*nn.Param
+		slots     [][]*tensor.Tensor // per-batch-position gradient buffers
+		losses    []float64
+	)
+	if nW > 1 {
+		replicas = make([]*nn.Network, nW)
+		repParams = make([][]*nn.Param, nW)
+		for i := range replicas {
+			if replicas[i], err = net.Clone(); err != nil {
+				return nil, err
+			}
+			repParams[i] = replicas[i].Params()
+		}
+		slots = make([][]*tensor.Tensor, cfg.BatchSize)
+		for b := range slots {
+			slots[b] = make([]*tensor.Tensor, len(masterParams))
+			for i, p := range masterParams {
+				slots[b][i] = tensor.New(p.Grad.Shape()...)
+			}
+		}
+		losses = make([]float64, cfg.BatchSize)
+	}
+	// Weight sync over the cached param slices: copyWeights would rebuild
+	// both Params() slices on every iteration.
+	syncReplicas := func() {
+		for w := range repParams {
+			for i, p := range repParams[w] {
+				copy(p.W.Data(), masterParams[i].W.Data())
+			}
+		}
+	}
+	batchIdx := make([]int, cfg.BatchSize)
+
+	// Persistent workers plus a single reusable fan-out closure keep the
+	// steady-state parallel iteration allocation-free, matching serial.
+	sess := pool.Session()
+	defer sess.Close()
+	var counterBase int64
+	gradTask := func(worker, b int) error {
+		// Point the replica's gradient accumulators at this batch
+		// position's slot so Backward writes the sample's contribution
+		// there directly — no copy.
+		rp := repParams[worker]
+		for i := range rp {
+			slots[b][i].Zero()
+			rp[i].Grad = slots[b][i]
+		}
+		loss, err := sampleGrad(replicas[worker], trainSet[batchIdx[b]], yn, yh, sampleSeed(cfg.Seed, counterBase+int64(b)))
+		losses[b] = loss
+		return err
+	}
+
 	lr := cfg.LearningRate
 	start := time.Now()
 	var hist History
@@ -171,37 +281,51 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 	lossAccum, lossCount := 0.0, 0
 
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
-		net.ZeroGrads()
-		batchLoss := 0.0
-		for b := 0; b < cfg.BatchSize; b++ {
-			var s Sample
+		// Draw the whole batch up front. The rand call sequence is exactly
+		// the legacy serial one, so sampling is identical under any worker
+		// count (and to earlier versions of this code).
+		for b := range batchIdx {
 			if cfg.BalanceClasses {
 				// Choose the class at random (not by batch position): a
 				// deterministic alternation would sample only one class
 				// when BatchSize is 1.
 				if rng.Intn(2) == 0 {
-					s = trainSet[hsIdx[rng.Intn(len(hsIdx))]]
+					batchIdx[b] = hsIdx[rng.Intn(len(hsIdx))]
 				} else {
-					s = trainSet[nhsIdx[rng.Intn(len(nhsIdx))]]
+					batchIdx[b] = nhsIdx[rng.Intn(len(nhsIdx))]
 				}
 			} else {
-				s = trainSet[rng.Intn(len(trainSet))]
+				batchIdx[b] = rng.Intn(len(trainSet))
 			}
-			target := yn
-			if s.Hotspot {
-				target = yh
+		}
+		counterBase = int64(iter-1) * int64(cfg.BatchSize)
+
+		batchLoss := 0.0
+		for _, p := range masterParams {
+			p.Grad.Zero()
+		}
+		if nW <= 1 {
+			for b, idx := range batchIdx {
+				loss, err := sampleGrad(net, trainSet[idx], yn, yh, sampleSeed(cfg.Seed, counterBase+int64(b)))
+				if err != nil {
+					return nil, err
+				}
+				batchLoss += loss
 			}
-			out, err := net.Forward(s.X, true)
-			if err != nil {
+		} else {
+			syncReplicas()
+			if err := sess.For(cfg.BatchSize, gradTask); err != nil {
 				return nil, err
 			}
-			loss, dlogits, err := nn.SoftmaxCrossEntropy(out, target)
-			if err != nil {
-				return nil, err
-			}
-			batchLoss += loss
-			if err := net.Backward(dlogits); err != nil {
-				return nil, err
+			// Reduce in batch-position order: fold-left addition per
+			// element is exactly the serial loop's in-place accumulation.
+			for b := range slots {
+				batchLoss += losses[b]
+				for i, p := range masterParams {
+					if err := p.Grad.Add(slots[b][i]); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
 		lossAccum += batchLoss / float64(cfg.BatchSize)
@@ -212,7 +336,7 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 		if cfg.DoubleUpdate {
 			scale *= 2
 		}
-		for _, p := range net.Params() {
+		for _, p := range masterParams {
 			if err := p.W.AddScaled(-scale, p.Grad); err != nil {
 				return nil, err
 			}
@@ -222,7 +346,13 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 		}
 
 		if cfg.ValEvery > 0 && iter%cfg.ValEvery == 0 {
-			m, err := EvalSet(net, valSet, 0)
+			var m Metrics
+			if nW > 1 {
+				syncReplicas()
+				m, err = evalSetOn(replicas, pool, valSet, 0)
+			} else {
+				m, err = EvalSet(net, valSet, 0)
+			}
 			if err != nil {
 				return nil, err
 			}

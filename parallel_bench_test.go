@@ -1,0 +1,115 @@
+package hotspot_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/feature"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/nn"
+	"hotspot/internal/tensor"
+	"hotspot/internal/train"
+)
+
+// paperShapedSamples builds n synthetic training samples with the paper's
+// feature-tensor shape (32, 12, 12), alternating labels.
+func paperShapedSamples(n int, seed int64) []train.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]train.Sample, n)
+	for i := range out {
+		x := tensor.New(32, 12, 12)
+		for j := range x.Data() {
+			x.Data()[j] = rng.NormFloat64()
+		}
+		out[i] = train.Sample{X: x, Hotspot: i%2 == 0}
+	}
+	return out
+}
+
+// benchMGD times full MGD iterations (batch 8) of the Table 1 network at a
+// given worker count. One b.N unit = one optimization step.
+func benchMGD(b *testing.B, workers int) {
+	b.Helper()
+	samples := paperShapedSamples(64, 11)
+	net, err := nn.NewPaperNet(nn.DefaultPaperNetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := train.MGDConfig{
+		LearningRate: 0.01,
+		DecayFactor:  0.5,
+		DecayStep:    1 << 30,
+		BatchSize:    8,
+		MaxIters:     b.N,
+		ValEvery:     0,
+		Seed:         5,
+		Workers:      workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := train.MGD(net, samples, nil, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMGDParallel compares gradient-parallel training against the
+// serial baseline; the weight trajectories are bit-identical, only the
+// wall clock differs.
+func BenchmarkMGDParallel(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchMGD(b, 1) })
+	b.Run("workers=4", func(b *testing.B) { benchMGD(b, 4) })
+}
+
+// benchEvalSet times full-set inference (64 paper-shaped samples per
+// iteration) at a given worker count.
+func benchEvalSet(b *testing.B, workers int) {
+	b.Helper()
+	samples := paperShapedSamples(64, 13)
+	net, err := nn.NewPaperNet(nn.DefaultPaperNetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := train.NewEvaluator(net, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalSet(samples, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalSetParallel(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchEvalSet(b, 1) })
+	b.Run("workers=4", func(b *testing.B) { benchEvalSet(b, 4) })
+}
+
+// benchExtractTensors times batch feature-tensor extraction (rasterization
+// + blocked DCT) over 16 ICCAD-style clips at a given worker count.
+func benchExtractTensors(b *testing.B, workers int) {
+	b.Helper()
+	style := layout.StyleICCAD()
+	rng := rand.New(rand.NewSource(17))
+	clips := make([]geom.Clip, 16)
+	for i := range clips {
+		clips[i] = layout.Generate(style, rng)
+	}
+	cfg := feature.DefaultTensorConfig()
+	core := style.CoreRect()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := feature.ExtractTensors(clips, core, cfg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractTensors(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchExtractTensors(b, 1) })
+	b.Run("workers=4", func(b *testing.B) { benchExtractTensors(b, 4) })
+}
