@@ -41,7 +41,9 @@ func main() {
 		log.Fatal(err)
 	}
 	ds, err := dataset.Load(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,9 @@ func main() {
 		log.Fatal(err)
 	}
 	det, err := core.LoadDetector(mf, core.DefaultConfig())
-	mf.Close()
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

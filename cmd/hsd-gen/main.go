@@ -74,8 +74,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	// A failed Close on a file being written is silent data loss: check
+	// it instead of deferring it into the void.
 	if err := ds.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)

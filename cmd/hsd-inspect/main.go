@@ -39,7 +39,9 @@ func main() {
 		log.Fatal(err)
 	}
 	ds, err := dataset.Load(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,7 +41,9 @@ func main() {
 		log.Fatal(err)
 	}
 	ds, err := dataset.Load(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,8 +89,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mf.Close()
+	// A failed Close on a file being written is silent data loss: check
+	// it instead of deferring it into the void.
 	if err := det.Save(mf); err != nil {
+		log.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)

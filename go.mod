@@ -1,3 +1,11 @@
 module hotspot
 
 go 1.22
+
+// Intentionally dependency-free. golang.org/x/tools — the usual driver
+// for cmd/hsd-vet's analyzers — is unavailable in the offline build
+// environment, so internal/lint implements the go/analysis and
+// analysistest contracts on the standard library (go/ast + go/types over
+// `go list -export` data). No requirements means no go.sum to keep in
+// hygiene; if x/tools lands in the module cache, pin it here and port the
+// analyzers to the upstream driver.

@@ -100,7 +100,9 @@ func (t *stumpTrainer) best(w []float64) (Stump, float64) {
 				negBelow += w[i]
 			}
 			// Threshold between values[k] and values[k+1]; skip ties.
-			if k+1 < len(col.values) && col.values[k+1] == col.values[k] {
+			// values is sorted ascending, so "tie" means not strictly
+			// greater — no float equality needed.
+			if k+1 < len(col.values) && !(col.values[k+1] > col.values[k]) {
 				continue
 			}
 			var th float64

@@ -77,7 +77,9 @@ func LoadSuite(name string, opts Options) (*dataset.Dataset, error) {
 			fmt.Sprintf("%s_s%g_seed%d.gob", style.Name, opts.Scale, opts.Seed))
 		if f, err := os.Open(cachePath); err == nil {
 			ds, derr := dataset.Load(f)
-			f.Close()
+			if cerr := f.Close(); derr == nil {
+				derr = cerr
+			}
 			if derr == nil {
 				return ds, nil
 			}
@@ -98,8 +100,13 @@ func LoadSuite(name string, opts Options) (*dataset.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		// Close errors on a file being written are data loss; check them
+		// instead of deferring the Close into the void.
 		if err := ds.Save(f); err != nil {
+			_ = f.Close() // Save already failed; its error wins
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
 			return nil, err
 		}
 	}

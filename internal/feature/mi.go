@@ -28,7 +28,10 @@ func MutualInformation(x []float64, y []bool, bins int) (float64, error) {
 			hi = v
 		}
 	}
-	if hi == lo {
+	// hi >= lo by construction, so a degenerate range is "not strictly
+	// greater". This also keeps a -0/+0 mix out of the (v-lo)/(hi-lo)
+	// binning below, where it would divide by zero.
+	if hi <= lo {
 		return 0, nil
 	}
 	n := float64(len(x))

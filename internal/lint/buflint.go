@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// Buflint guards the allocation-churn wins of the data-parallel rework:
+// the nn/tensor/train forward and backward paths run once per sample per
+// iteration, and a `make([]float64, ...)` there resurrects the per-step
+// garbage the layer buffer reuse removed (train step allocations fell
+// 169KB -> 6KB; see DESIGN.md). Hot-path slices live on the receiver and
+// are grown, not reallocated.
+//
+// Flagged: make of a float slice inside a Forward/Backward method (any
+// case) in a package named nn, tensor, or train — unless the make is
+// behind a capacity-growth guard, i.e. an enclosing if whose condition
+// calls cap(...), which is exactly the amortized grow-once idiom
+// (`if cap(buf) < n { buf = make([]float64, n) }`).
+var Buflint = &Analyzer{
+	Name: "buflint",
+	Doc:  "flags per-call float-slice allocation in nn/tensor/train forward/backward hot paths",
+	Run:  runBuflint,
+}
+
+// hotPackages are the packages whose Forward/Backward methods sit on the
+// per-sample training path.
+var hotPackages = map[string]bool{"nn": true, "tensor": true, "train": true}
+
+func isHotFunc(name string) bool {
+	switch name {
+	case "Forward", "Backward", "forward", "backward":
+		return true
+	}
+	return false
+}
+
+func isFloatSliceMake(pass *Pass, call *ast.CallExpr) bool {
+	if !isBuiltin(pass.Info, call, "make") || len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	return ok && isFloat(s.Elem())
+}
+
+// underCapGuard reports whether some enclosing if statement's condition
+// calls the cap builtin — the amortized buffer-growth idiom.
+func underCapGuard(pass *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "cap") {
+				guarded = true
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+func runBuflint(pass *Pass) error {
+	if !hotPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotFunc(fd.Name.Name) {
+				continue
+			}
+			walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isFloatSliceMake(pass, call) {
+					return true
+				}
+				if underCapGuard(pass, stack) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "per-call make of a float slice in hot path %s.%s; reuse a receiver buffer and grow it behind a cap guard", path.Base(pass.Pkg.Path()), fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

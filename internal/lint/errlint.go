@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Errlint flags call statements that silently discard a returned error.
+// Training, evaluation, and dataset I/O all propagate errors; a dropped
+// error (an unchecked Close on a file being written, a Flush that never
+// got checked) turns data loss into a green run. Discarding must be
+// explicit — `_ = f.Close()` — so the decision survives review.
+//
+// Infallible writers are exempt: fmt.Print/Printf/Println to stdout, and
+// any fmt.Fprint*/method call writing into a *bytes.Buffer or
+// *strings.Builder, whose Write methods are documented never to return an
+// error.
+var Errlint = &Analyzer{
+	Name: "errlint",
+	Doc:  "flags discarded error returns in statement position",
+	Run:  runErrlint,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's result includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(tv.Type, errorType)
+	}
+}
+
+// isInfallibleBuffer reports whether t is (a pointer to) bytes.Buffer or
+// strings.Builder.
+func isInfallibleBuffer(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (path == "bytes" && name == "Buffer") || (path == "strings" && name == "Builder")
+}
+
+// allowedErrDiscard reports whether the discarded error is from a source
+// documented never to fail.
+func allowedErrDiscard(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return isInfallibleBuffer(recv.Type())
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 && isInfallibleBuffer(info.Types[call.Args[0]].Type)
+	}
+	return false
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "call"
+	}
+	return b.String()
+}
+
+func runErrlint(pass *Pass) error {
+	check := func(call *ast.CallExpr, how string) {
+		if !returnsError(pass.Info, call) || allowedErrDiscard(pass.Info, call) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s%s discards its error; handle it or assign to _ explicitly",
+			how, exprString(pass.Fset, call.Fun))
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, "deferred ")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floatlint enforces the numerics contract behind the reproducibility of
+// the experiment tables: floating-point results are compared and reduced
+// deterministically.
+//
+// Flagged:
+//   - `==` / `!=` between float operands. Rounded values rarely compare
+//     equal, and when exact identity is genuinely meant (threshold ties,
+//     cache keys) it must be spelled math.Float64bits(a) ==
+//     math.Float64bits(b) so the bit-level intent is explicit. Comparing
+//     against an exact constant zero is allowed: sparsity gates like
+//     `if v == 0` are well-defined and deliberate.
+//   - float accumulation (`+=`, `-=`, `*=`, `/=`, or `x = x + ...`) into a
+//     variable declared outside a `range` over a map. Map iteration order
+//     is randomized per run, and float addition is not associative, so
+//     such reductions drift between runs; iterate sorted keys or collect
+//     into an index-ordered slice first (see internal/parallel's
+//     index-ordered slot reduction).
+//
+// Test files are exempt: exact golden comparisons in tests are deliberate
+// assertions about bit-identical behaviour.
+var Floatlint = &Analyzer{
+	Name: "floatlint",
+	Doc:  "flags float ==/!= and float accumulation over map iteration order",
+	Run:  runFloatlint,
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a constant expression equal to exact
+// zero (0, 0.0, a zero named constant, ...).
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}
+
+func runFloatlint(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatCompare(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeAccum(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatCompare(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	xt, xok := pass.Info.Types[b.X]
+	yt, yok := pass.Info.Types[b.Y]
+	if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+		return
+	}
+	if isZeroConst(pass.Info, b.X) || isZeroConst(pass.Info, b.Y) {
+		return // exact-zero sparsity gates are deterministic and intended
+	}
+	pass.Reportf(b.OpPos, "float %s comparison; use an epsilon, or math.Float64bits for intentional exact identity", b.Op)
+}
+
+// checkMapRangeAccum flags float accumulator updates inside a range over a
+// map, when the accumulator outlives the loop body.
+func checkMapRangeAccum(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if accumulatesFloat(pass, rng, as.Lhs[0], nil) {
+				pass.Reportf(as.TokPos, "float accumulation over map iteration order is non-deterministic; reduce over sorted keys or an index-ordered slice")
+			}
+		case token.ASSIGN:
+			// x = x + y (and friends) with x declared outside the loop.
+			for i, lhs := range as.Lhs {
+				if i < len(as.Rhs) && accumulatesFloat(pass, rng, lhs, as.Rhs[i]) {
+					pass.Reportf(as.TokPos, "float accumulation over map iteration order is non-deterministic; reduce over sorted keys or an index-ordered slice")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// accumulatesFloat reports whether lhs is a float variable declared
+// outside rng and, when rhs is non-nil, whether rhs reads lhs back (the
+// self-referential shape of an accumulation).
+func accumulatesFloat(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr, rhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil || !isFloat(obj.Type()) {
+		return false
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return false // loop-local temporary; order cannot leak out
+	}
+	if rhs == nil {
+		return true
+	}
+	reads := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if rid, ok := n.(*ast.Ident); ok && pass.Info.Uses[rid] == obj {
+			reads = true
+		}
+		return !reads
+	})
+	return reads
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Goroutinelint enforces the concurrency contract from DESIGN.md: all
+// fan-out goes through internal/parallel's bounded worker pool, whose
+// index-ordered slot reduction is what keeps parallel results bit-identical
+// to serial ones. A raw `go` statement anywhere else is unbounded (it
+// ignores the -workers budget) and its completion order is scheduler
+// -dependent, so any float reduction over it reintroduces run-to-run drift.
+//
+// Only the internal/parallel package itself (suffix-matched, so test
+// fixtures can model it) and _test.go files may start goroutines directly.
+var Goroutinelint = &Analyzer{
+	Name: "goroutinelint",
+	Doc:  "flags raw go statements outside internal/parallel's bounded pool",
+	Run:  runGoroutinelint,
+}
+
+func runGoroutinelint(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/parallel") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw goroutine outside internal/parallel; use parallel.Map or a parallel.Session so fan-out stays bounded and reduction stays index-ordered")
+			}
+			return true
+		})
+	}
+	return nil
+}

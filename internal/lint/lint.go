@@ -1,0 +1,246 @@
+// Package lint is the project-specific static-analysis suite behind
+// cmd/hsd-vet. It enforces the determinism, numerics, and concurrency
+// contracts that make the repo's results reproducible (DESIGN.md
+// "Determinism & numerics rules"): keyed RNG streams instead of wall-clock
+// or global randomness (seedlint), no float equality or map-ordered float
+// reduction (floatlint), all fan-out on internal/parallel's bounded pool
+// (goroutinelint), no silently discarded errors (errlint), and no per-call
+// slice churn in the nn/tensor/train hot paths (buflint).
+//
+// The package mirrors the golang.org/x/tools/go/analysis contract
+// (Analyzer, Pass, Diagnostic) on the standard library alone — go/ast for
+// syntax, go/types fed by `go list -export` export data for semantics — so
+// the module stays dependency-free and the tool builds offline.
+//
+// A finding can be silenced with a trailing or preceding comment of the
+// form `//hsd:allow <analyzer> <reason>`; the reason is mandatory by
+// convention so the suppression documents why the invariant is safe to
+// waive at that site.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named, independently runnable check.
+// The shape deliberately matches golang.org/x/tools/go/analysis.Analyzer
+// so analyzers can migrate to the upstream driver if the dependency ever
+// becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only filters, and
+	// hsd:allow directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run applies the analyzer to one package and reports findings
+	// through the pass. A non-nil error aborts the whole run (reserved
+	// for analyzer bugs, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Seedlint, Floatlint, Goroutinelint, Errlint, Buflint}
+}
+
+// Select resolves a comma-separated list of analyzer names, defaulting to
+// All when the list is empty.
+func Select(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position. hsd:allow-suppressed findings are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = filterAllowed(diags, allowed)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+var allowRE = regexp.MustCompile(`hsd:allow\s+([a-z0-9_,-]+)`)
+
+// allowKey addresses one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowDirectives collects `//hsd:allow name` comments. A directive
+// suppresses the named analyzer on its own line and the line below, so it
+// can trail the offending expression or sit on its own line above it.
+func allowDirectives(pkg *Package) map[allowKey]bool {
+	out := make(map[allowKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					out[allowKey{pos.Filename, pos.Line, name}] = true
+					out[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func filterAllowed(diags []Diagnostic, allowed map[allowKey]bool) []Diagnostic {
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// isTestFile reports whether the file at pos is a _test.go file. Analyzers
+// that enforce production-code invariants skip tests, where exact float
+// golden checks and ad-hoc goroutines are legitimate.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// walkStack visits every node under root, passing the stack of enclosing
+// nodes (outermost first, not including n itself). Returning false prunes
+// the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcOf resolves a call's callee to the *types.Func it invokes, whether
+// through a plain identifier, a package selector, or a method value.
+// Returns nil for builtins, conversions, and indirect calls.
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := funcOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isBuiltin reports whether call invokes the named builtin (make, cap, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

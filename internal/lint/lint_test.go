@@ -1,0 +1,82 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"hotspot/internal/lint"
+	"hotspot/internal/lint/linttest"
+)
+
+func TestSeedlint(t *testing.T) {
+	linttest.Run(t, lint.Seedlint, "./testdata/src/seedlint/a")
+}
+
+func TestFloatlint(t *testing.T) {
+	linttest.Run(t, lint.Floatlint, "./testdata/src/floatlint/a")
+}
+
+func TestGoroutinelint(t *testing.T) {
+	linttest.Run(t, lint.Goroutinelint,
+		"./testdata/src/goroutinelint/a",
+		"./testdata/src/goroutinelint/internal/parallel")
+}
+
+func TestErrlint(t *testing.T) {
+	linttest.Run(t, lint.Errlint, "./testdata/src/errlint/a")
+}
+
+func TestBuflint(t *testing.T) {
+	linttest.Run(t, lint.Buflint,
+		"./testdata/src/buflint/nn",
+		"./testdata/src/buflint/other")
+}
+
+func TestSelect(t *testing.T) {
+	all, err := lint.Select("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("All: got %d analyzers, want 5", len(all))
+	}
+	two, err := lint.Select("seedlint, errlint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "seedlint" || two[1].Name != "errlint" {
+		t.Fatalf("Select: got %v", two)
+	}
+	if _, err := lint.Select("nosuch"); err == nil {
+		t.Fatal("Select accepted an unknown analyzer name")
+	}
+}
+
+// TestRepoIsClean is the in-process version of the check gate's
+// `hsd-vet ./...` leg: the tree must be free of findings from every
+// analyzer. Fixture packages under testdata are excluded from ./... by
+// the go tool itself.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo load is not short")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  ")
+			b.WriteString(d.String())
+		}
+		t.Errorf("hsd-vet findings on the repo:%s", b.String())
+	}
+}

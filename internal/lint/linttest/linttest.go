@@ -1,0 +1,103 @@
+// Package linttest is a golden-file test harness for internal/lint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// Fixture packages live under testdata/src/<analyzer>/... and are real,
+// compiling Go packages. A line that should trigger a finding carries a
+// trailing comment of the form
+//
+//	expr // want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Run fails
+// the test for every diagnostic with no matching expectation (false
+// positive) and every expectation with no matching diagnostic (false
+// negative), so fixtures double as both true-positive and true-negative
+// proofs.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"hotspot/internal/lint"
+)
+
+// expectation is one `// want "re"` entry, addressed by file and line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads each fixture package directory, applies the analyzer, and
+// checks its diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, dirs ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(".", dirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", dirs, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", dirs)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						raw, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		if w := claim(wants, d.Pos.Filename, d.Pos.Line, d.Message); w == nil {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.raw)
+		}
+	}
+}
+
+// claim finds the first unmatched expectation on (file, line) whose regexp
+// matches message, marks it matched, and returns it.
+func claim(wants []*expectation, file string, line int, message string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedlint enforces the serial≡parallel RNG contract: every random stream
+// must be a keyed stream — a *rand.Rand built directly over an explicit
+// rand.NewSource(seed), or a splitmix64 counter — whose output is a pure
+// function of configuration, never of wall-clock time or shared global
+// state. Trained weights are bit-identical across worker counts only
+// because dropout masks and batch sampling derive from (Seed, position)
+// pairs; one time.Now() seed or one rand.Intn() on the global source
+// silently breaks that parity.
+//
+// Flagged:
+//   - calls to math/rand (or math/rand/v2) package-level functions other
+//     than the stream constructors New/NewSource — these mutate or read
+//     process-global RNG state;
+//   - rand.New whose source is anything but a direct rand.NewSource(...)
+//     call, i.e. a stream not visibly keyed at its construction site;
+//   - time.Now() anywhere inside the arguments of rand.New/rand.NewSource;
+//   - time.Now().UnixNano(), the canonical wall-clock seed idiom (elapsed
+//     time belongs to time.Since, which seedlint does not flag).
+var Seedlint = &Analyzer{
+	Name: "seedlint",
+	Doc:  "flags wall-clock seeds, math/rand global state, and unkeyed rand.New streams",
+	Run:  runSeedlint,
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func containsTimeNow(pass *Pass, root ast.Node) ast.Node {
+	var found ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(pass.Info, call, "time", "Now") {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func runSeedlint(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// time.Now().UnixNano(): wall-clock value in seed-width units.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "UnixNano" {
+				if recv, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok && isPkgFunc(pass.Info, recv, "time", "Now") {
+					pass.Reportf(call.Pos(), "time.Now().UnixNano() is a wall-clock value; seeds must come from configuration so runs are reproducible")
+					return true
+				}
+			}
+			name := seedlintFuncName(pass, call)
+			switch name {
+			case "":
+				return true
+			case "New", "NewSource":
+				// Scan only NewSource arguments: a wall-clock seed inside
+				// rand.New necessarily sits inside the nested NewSource
+				// call, which reports for itself.
+				if name == "NewSource" {
+					for _, arg := range call.Args {
+						if hit := containsTimeNow(pass, arg); hit != nil {
+							pass.Reportf(hit.Pos(), "wall-clock seed: rand.%s argument derives from time.Now(); use an explicit configured seed", name)
+						}
+					}
+				}
+				if name == "New" {
+					if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); !ok || seedlintFuncName(pass, inner) != "NewSource" {
+						pass.Reportf(call.Pos(), "rand.New over an indirect source; construct keyed streams as rand.New(rand.NewSource(seed)) so the seed is auditable at the call site")
+					}
+				}
+			default:
+				pass.Reportf(call.Pos(), "math/rand global function rand.%s uses process-wide RNG state; draw from a keyed *rand.Rand or a splitmix64 counter stream instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedlintFuncName resolves call to a math/rand package-level function
+// name, or "" when it is something else (method, other package, builtin).
+func seedlintFuncName(pass *Pass, call *ast.CallExpr) string {
+	fn := funcOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || !isRandPath(fn.Pkg().Path()) {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "" // method on *rand.Rand etc., not global state
+	}
+	return fn.Name()
+}

@@ -1,0 +1,63 @@
+// Package nn is the buflint positive fixture: its base name matches a hot
+// package, so unguarded float-slice makes in Forward/Backward are flagged
+// while cap-guarded growth, cold methods, and non-float makes are not.
+package nn
+
+type layer struct {
+	out []float64
+	idx []int
+}
+
+// --- true positives -----------------------------------------------------
+
+func (l *layer) Forward(x []float64) []float64 {
+	out := make([]float64, len(x)) // want "per-call make of a float slice in hot path nn.Forward"
+	copy(out, x)
+	return out
+}
+
+func (l *layer) Backward(grad []float64) []float64 {
+	dx := make([]float64, len(grad)) // want "per-call make of a float slice in hot path nn.Backward"
+	for i, g := range grad {
+		dx[i] = g * 2
+	}
+	return dx
+}
+
+func (l *layer) forward(x []float32) []float32 {
+	return make([]float32, len(x)) // want "per-call make of a float slice in hot path nn.forward"
+}
+
+// --- true negatives -----------------------------------------------------
+
+type cached struct {
+	out []float64
+	idx []int
+}
+
+// Forward here grows its buffer behind a cap guard — the amortized
+// grow-once idiom buflint exists to protect — and allocates non-float
+// bookkeeping freely.
+func (c *cached) Forward(x []float64) []float64 {
+	if cap(c.out) < len(x) {
+		c.out = make([]float64, len(x))
+	}
+	c.out = c.out[:len(x)]
+	c.idx = make([]int, len(x)) // non-float bookkeeping: not flagged
+	copy(c.out, x)
+	return c.out
+}
+
+func (c *cached) Backward(grad []float64) []float64 {
+	if cap(c.out) < len(grad) {
+		c.out = make([]float64, len(grad))
+	}
+	c.out = c.out[:len(grad)]
+	return c.out
+}
+
+// newScratch is cold — construction-time allocation is exactly where
+// buffers should be made.
+func newScratch(n int) *cached {
+	return &cached{out: make([]float64, n)}
+}

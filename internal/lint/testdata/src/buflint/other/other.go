@@ -1,0 +1,12 @@
+// Package other is the buflint scope fixture: the package base name is
+// not nn/tensor/train, so even an unguarded float-slice make inside a
+// Forward method is out of scope.
+package other
+
+type box struct{}
+
+func (box) Forward(x []float64) []float64 {
+	out := make([]float64, len(x)) // cold package: not flagged
+	copy(out, x)
+	return out
+}

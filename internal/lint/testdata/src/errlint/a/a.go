@@ -1,0 +1,67 @@
+// Package a is the errlint fixture: discarded error returns in statement
+// position are flagged; explicit discards, checked errors, infallible
+// writers, and hsd:allow waivers are not.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+type sink struct{}
+
+func (sink) Close() error                { return nil }
+func (sink) Flush() error                { return nil }
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+
+func save(w io.Writer) error {
+	_, err := w.Write([]byte("x"))
+	return err
+}
+
+// --- true positives -----------------------------------------------------
+
+func discards(w io.Writer) {
+	var s sink
+	s.Flush()                   // want "s.Flush discards its error"
+	save(w)                     // want "save discards its error"
+	fmt.Fprintf(w, "n=%d\n", 1) // want "fmt.Fprintf discards its error"
+	defer s.Close()             // want "deferred s.Close discards its error"
+}
+
+// --- true negatives -----------------------------------------------------
+
+func handled(w io.Writer) error {
+	var s sink
+	if err := save(w); err != nil {
+		return err
+	}
+	_ = s.Flush() // explicit discard is a visible decision
+	fmt.Println("done")
+	return s.Close()
+}
+
+// buffers: bytes.Buffer and strings.Builder writes never fail.
+func buffers() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "n=%d\n", 1)
+	buf.WriteString("tail")
+	var b strings.Builder
+	b.WriteString(buf.String())
+	return b.String()
+}
+
+// waived: an hsd:allow directive with a reason silences one line.
+func waived() {
+	var s sink
+	s.Flush() //hsd:allow errlint fixture proves the waiver works
+}
+
+// noError: calls without an error result are never flagged.
+func noError() {
+	var b strings.Builder
+	_ = b.Len()
+	fmt.Sprint("x")
+}

@@ -1,0 +1,86 @@
+// Package a is the floatlint fixture: float equality and map-ordered
+// float reduction positives, with exact-zero gates and ordered reductions
+// as negatives.
+package a
+
+import (
+	"math"
+	"sort"
+)
+
+// --- true positives -----------------------------------------------------
+
+func compares(a, b float64, c float32) bool {
+	if a == b { // want "float == comparison"
+		return true
+	}
+	if c != 2.5 { // want "float != comparison"
+		return false
+	}
+	return a != b // want "float != comparison"
+}
+
+func mapAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation over map iteration order"
+	}
+	total := 1.0
+	for _, v := range m {
+		total = total * v // want "float accumulation over map iteration order"
+	}
+	return sum + total
+}
+
+// --- true negatives -----------------------------------------------------
+
+// zeroGate: comparison against exact constant zero is a deterministic
+// sparsity gate (the density-gated matmul idiom).
+func zeroGate(v float64) bool {
+	return v == 0 || 0.0 != v
+}
+
+// bitIdentity is the blessed spelling for intentional exact identity.
+func bitIdentity(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// intCompare: integer equality is fine.
+func intCompare(a, b int) bool { return a == b }
+
+// sliceAccum: reduction over a slice is index-ordered and deterministic.
+func sliceAccum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// sortedKeys is the blessed fix for map reduction: iterate sorted keys.
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// localTemp: a float temporary scoped inside the loop body cannot leak
+// iteration order out of the loop.
+func localTemp(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		t := v
+		t += 1
+		if t > 2 {
+			n++ // integer counting is order-independent
+		}
+	}
+	return n
+}

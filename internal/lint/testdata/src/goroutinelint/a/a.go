@@ -1,0 +1,28 @@
+// Package a is the goroutinelint fixture: raw goroutines outside
+// internal/parallel are flagged.
+package a
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want "raw goroutine outside internal/parallel"
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+func fireAndForget(f func()) {
+	go f() // want "raw goroutine outside internal/parallel"
+}
+
+// inline closures without the go keyword are fine.
+func sequential(work []func()) {
+	for _, w := range work {
+		func() { w() }()
+	}
+}

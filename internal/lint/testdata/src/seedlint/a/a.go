@@ -1,0 +1,71 @@
+// Package a is the seedlint fixture: true positives for wall-clock seeds,
+// global math/rand state, and unkeyed streams, next to true negatives for
+// the repo's blessed keyed-stream constructors.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// --- true positives -----------------------------------------------------
+
+func globalState() int {
+	rand.Seed(42)                      // want "math/rand global function rand.Seed"
+	x := rand.Intn(9)                  // want "math/rand global function rand.Intn"
+	rand.Shuffle(x, func(i, j int) {}) // want "math/rand global function rand.Shuffle"
+	return x + rand.Int()              // want "math/rand global function rand.Int"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "wall-clock seed" "time.Now\\(\\).UnixNano\\(\\)"
+}
+
+func wallClockSource() rand.Source {
+	return rand.NewSource(time.Now().Unix()) // want "wall-clock seed"
+}
+
+func unkeyedStream(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "rand.New over an indirect source"
+}
+
+func bareUnixNano() int64 {
+	return time.Now().UnixNano() // want "wall-clock value"
+}
+
+// --- true negatives: the blessed constructors ---------------------------
+
+// keyedStream is the blessed shape: the seed is auditable at the call
+// site and comes from configuration.
+func keyedStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// positionKeyed derives per-item streams from (seed, position), the
+// pattern layout.BuildSuite uses for worker-count-independent generation.
+func positionKeyed(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(i)*0x9e3779b9))
+}
+
+// splitmix64 is the finalizer behind train.sampleSeed and the nn dropout
+// mask stream: pure function of its input, no global state, not flagged.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// methodDraws on an explicit keyed stream are fine; only package-level
+// global-state calls are flagged.
+func methodDraws(seed int64) float64 {
+	r := keyedStream(seed)
+	return r.Float64() + float64(r.Intn(10))
+}
+
+// timingOnly: time.Now for elapsed-time measurement is not a seed.
+func timingOnly() time.Duration {
+	start := time.Now()
+	_ = splitmix64(1)
+	return time.Since(start)
+}

@@ -2,6 +2,7 @@ package train
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hotspot/internal/nn"
@@ -58,8 +59,9 @@ func ROC(net *nn.Network, samples []Sample) ([]ROCPoint, error) {
 			fp++
 		}
 		// Emit a point only when the next probability differs (ties share
-		// a threshold).
-		if i+1 < len(all) && all[i+1].p == s.p {
+		// a threshold). Bit-level identity is the intended tie test:
+		// equal scores come from identical forward passes.
+		if i+1 < len(all) && math.Float64bits(all[i+1].p) == math.Float64bits(s.p) {
 			continue
 		}
 		points = append(points, ROCPoint{

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check.sh — the repo's standing check gate.
+#
+# Runs the four legs every change must pass before merging:
+#   1. go build ./...        the tree compiles
+#   2. go vet ./...          stock toolchain analysis
+#   3. hsd-vet ./...         project contracts: determinism, numerics,
+#                            concurrency, errors, hot-path allocation
+#                            (see DESIGN.md "Determinism & numerics rules")
+#   4. go test -race ./...   unit + parity tests under the race detector
+#
+# Usage: scripts/check.sh [-short]
+#   -short   pass -short to go test (skips the slow experiment suites)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+    short="-short"
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> hsd-vet ./..."
+go run ./cmd/hsd-vet ./...
+
+echo "==> go test -race ${short} ./..."
+go test -race ${short} ./...
+
+echo "check gate: all legs green"
