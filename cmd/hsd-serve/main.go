@@ -1,0 +1,123 @@
+// Command hsd-serve runs the online inference service: a long-running
+// HTTP server that answers hotspot queries with the trained model,
+// coalescing concurrent requests into micro-batches on the shared worker
+// pool (see internal/serve).
+//
+// Example:
+//
+//	hsd-gen -bench ICCAD -scale 0.02 -out iccad.gob
+//	hsd-train -data iccad.gob -out model.gob
+//	hsd-serve -model model.gob -addr 127.0.0.1:8080
+//	curl -s -X POST http://127.0.0.1:8080/v1/predict \
+//	    -d '{"frame":{"x0":0,"y0":0,"x1":1200,"y1":1200},"rects":[{"x0":100,"y0":0,"x1":160,"y1":1200}]}'
+//
+// Endpoints: POST /v1/predict, POST /v1/predict/batch, GET /healthz,
+// GET /readyz, GET /metrics, POST /admin/reload.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight
+// requests and queued micro-batches drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hotspot/internal/nn"
+	"hotspot/internal/parallel"
+	"hotspot/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsd-serve: ")
+	var (
+		model     = flag.String("model", "", "model checkpoint written by hsd-train (required unless -untrained)")
+		untrained = flag.Bool("untrained", false, "serve a fresh random-weight network instead of a checkpoint (smoke tests and load drills only)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the chosen address is printed)")
+		workers   = flag.Int("workers", 0, "worker goroutines for extraction and inference (0 = GOMAXPROCS); predictions are identical for any value")
+		maxBatch  = flag.Int("max-batch", 32, "micro-batch flush size")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batch flush deadline")
+		queue     = flag.Int("queue", 256, "pending-request queue bound (full queue → HTTP 429)")
+		cacheSize = flag.Int("cache", 4096, "clip-dedup LRU entries (0 disables)")
+		shift     = flag.Float64("shift", 0, "decision-boundary shift λ (Equation (11))")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request prediction timeout")
+		coreSide  = flag.Int("core", 1200, "default clip-core side in nm (centered in each request's frame)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	parallel.SetDefault(*workers)
+	if *model == "" && !*untrained {
+		log.Fatal("-model is required (or pass -untrained for a random-weight smoke server)")
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.CoreSide = *coreSide
+	cfg.MaxBatch = *maxBatch
+	cfg.MaxWait = *maxWait
+	cfg.QueueSize = *queue
+	cfg.CacheSize = *cacheSize
+	cfg.Workers = *workers
+	cfg.Shift = *shift
+	cfg.RequestTimeout = *timeout
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *untrained {
+		net0, err := nn.NewPaperNet(nn.DefaultPaperNetConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.LoadNetwork(net0, "untrained (random init)"); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("WARNING: serving an UNTRAINED random-weight network (-untrained)")
+	} else {
+		if err := srv.LoadCheckpoint(*model); err != nil {
+			log.Fatal(err)
+		}
+	}
+	info, _ := srv.Model()
+	fmt.Printf("hsd-serve: model %s (%d params), batch %d/%v, queue %d, cache %d, workers %d\n",
+		info.Origin, info.Params, cfg.MaxBatch, cfg.MaxWait, cfg.QueueSize, cfg.CacheSize, parallel.Workers(cfg.Workers))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address line is load-bearing: with port 0 it is how
+	// the smoke runner (scripts/smoke) finds the server.
+	fmt.Printf("hsd-serve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	drained := make(chan struct{})
+	go func() { //hsd:allow goroutinelint shutdown watcher; joined via the drained channel main blocks on after Serve returns
+		<-sigCtx.Done()
+		fmt.Println("hsd-serve: shutting down, draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		srv.Close()
+		close(drained)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	fmt.Println("hsd-serve: drained, bye")
+}

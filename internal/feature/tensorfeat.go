@@ -71,6 +71,16 @@ func (c TensorConfig) blockSize(coreNM int) (int, error) {
 	return b, nil
 }
 
+// ValidateCore checks that a core window of the given nanometre side
+// divides evenly under the configuration (resolution, blocks, coefficient
+// budget), so callers holding user-supplied geometry — the inference
+// server validates request clips up front — can reject bad cores with the
+// precise reason before paying for rasterization.
+func (c TensorConfig) ValidateCore(coreNM int) error {
+	_, err := c.blockSize(coreNM)
+	return err
+}
+
 // ExtractTensor computes the feature tensor of the core window of a clip:
 // the core is rasterized, divided into Blocks×Blocks sub-regions, each
 // sub-region is DCT-transformed, zig-zag flattened and truncated to K
@@ -93,6 +103,19 @@ func ExtractTensor(clip geom.Clip, core geom.Rect, cfg TensorConfig) (*tensor.Te
 	if err != nil {
 		return nil, err
 	}
+	coreIm, err := ExtractCoreImage(clip, core, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return extractFromImage(coreIm, b, cfg)
+}
+
+// ExtractCoreImage rasterizes a clip and crops its core window — the
+// exact pixel grid ExtractTensor feeds into the blocked DCT. It is split
+// out so online callers (the inference server) can rasterize once, hash
+// the pixels for clip deduplication, and hand the same image to
+// ExtractTensorFromImage without re-rasterizing.
+func ExtractCoreImage(clip geom.Clip, core geom.Rect, cfg TensorConfig) (*raster.Image, error) {
 	im, err := raster.Rasterize(clip, cfg.ResNM)
 	if err != nil {
 		return nil, err
@@ -102,11 +125,7 @@ func ExtractTensor(clip geom.Clip, core geom.Rect, cfg TensorConfig) (*tensor.Te
 	x0 := (core.X0 - clip.Frame.X0) / cfg.ResNM
 	y0 := (core.Y0 - clip.Frame.Y0) / cfg.ResNM
 	side := core.W() / cfg.ResNM
-	coreIm, err := im.SubImage(x0, y0, x0+side, y0+side)
-	if err != nil {
-		return nil, err
-	}
-	return extractFromImage(coreIm, b, cfg)
+	return im.SubImage(x0, y0, x0+side, y0+side)
 }
 
 // ExtractTensors extracts the feature tensor of every clip's core window,

@@ -19,7 +19,8 @@ func TestFloatlint(t *testing.T) {
 func TestGoroutinelint(t *testing.T) {
 	linttest.Run(t, lint.Goroutinelint,
 		"./testdata/src/goroutinelint/a",
-		"./testdata/src/goroutinelint/internal/parallel")
+		"./testdata/src/goroutinelint/internal/parallel",
+		"./testdata/src/goroutinelint/serve/internal/serve")
 }
 
 func TestErrlint(t *testing.T) {

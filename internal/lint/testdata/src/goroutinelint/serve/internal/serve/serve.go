@@ -1,0 +1,42 @@
+// Package serve is the goroutinelint fixture for the serving-layer
+// policy: raw goroutines are still findings here (with the serving-layer
+// message), but a //hsd:allow goroutinelint waiver naming the shutdown
+// path that joins the goroutine silences the finding — that is the
+// documented contract for service loops like the micro-batcher's flush
+// loop.
+package serve
+
+// batcher models a service with a long-lived flush loop.
+type batcher struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// start launches the flush loop with the documented waiver: allowed.
+func (b *batcher) start() {
+	go b.loop() //hsd:allow goroutinelint service loop; joined by Close, which closes stop and blocks on done
+}
+
+func (b *batcher) loop() {
+	<-b.stop
+	close(b.done)
+}
+
+// Close is the shutdown path the waiver names.
+func (b *batcher) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+// leak starts an unwaived goroutine: flagged with the serving-layer
+// message, not the generic one.
+func (b *batcher) leak() {
+	go b.loop() // want "raw goroutine in the serving layer"
+}
+
+// fanOut is batch fan-out dressed as serving code: no waiver, flagged.
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want "raw goroutine in the serving layer"
+	}
+}

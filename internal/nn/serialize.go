@@ -3,6 +3,7 @@ package nn
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -31,8 +32,29 @@ type netSpec struct {
 	Layers  []layerSpec
 }
 
-// Save serializes the network (architecture and weights) with encoding/gob.
+// Checkpoint framing: every file written by Save starts with an 8-byte
+// header — a 6-byte magic string identifying the format, followed by the
+// format version as a big-endian uint16 — before the gob payload. The
+// header lets Load reject not-a-checkpoint and wrong-version files with a
+// precise error instead of surfacing a raw gob decode failure, which is
+// what a long-running server's hot-reload path needs to refuse bad files
+// safely.
+const (
+	checkpointMagic   = "HSDNET"
+	checkpointVersion = 1
+	headerLen         = len(checkpointMagic) + 2
+)
+
+// Save serializes the network (architecture and weights): the versioned
+// checkpoint header followed by an encoding/gob payload.
 func (n *Network) Save(w io.Writer) error {
+	var hdr [headerLen]byte
+	copy(hdr[:], checkpointMagic)
+	hdr[len(checkpointMagic)] = byte(checkpointVersion >> 8)
+	hdr[len(checkpointMagic)+1] = byte(checkpointVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint header: %w", err)
+	}
 	spec := netSpec{Version: 1}
 	for _, l := range n.layers {
 		var s layerSpec
@@ -64,10 +86,26 @@ func (n *Network) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(spec)
 }
 
-// Load deserializes a network written by Save.
+// Load deserializes a network written by Save. A stream that does not
+// start with the checkpoint magic, carries an unsupported format version,
+// or ends mid-payload is rejected with an error saying exactly that.
 func Load(r io.Reader) (*Network, error) {
+	var hdr [headerLen]byte
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nn: truncated checkpoint: %d-byte header, want %d (%w)", n, headerLen, err)
+	}
+	if string(hdr[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("nn: not a network checkpoint (magic %q, want %q)", hdr[:len(checkpointMagic)], checkpointMagic)
+	}
+	version := int(hdr[len(checkpointMagic)])<<8 | int(hdr[len(checkpointMagic)+1])
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("nn: checkpoint format version %d; this build reads version %d", version, checkpointVersion)
+	}
 	var spec netSpec
 	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("nn: truncated checkpoint payload: %w", err)
+		}
 		return nil, fmt.Errorf("nn: decode network: %w", err)
 	}
 	if spec.Version != 1 {

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// saveSmallNet serializes a tiny PaperNet and returns the bytes.
+func saveSmallNet(t *testing.T) []byte {
+	t.Helper()
+	cfg := PaperNetConfig{InChannels: 2, SpatialSize: 4, Conv1Maps: 2, Conv2Maps: 2, FC1: 4, DropoutRate: 0.5, Seed: 3}
+	net, err := NewPaperNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointHeaderWritten(t *testing.T) {
+	raw := saveSmallNet(t)
+	if len(raw) < headerLen {
+		t.Fatalf("checkpoint only %d bytes, shorter than its header", len(raw))
+	}
+	if string(raw[:len(checkpointMagic)]) != checkpointMagic {
+		t.Fatalf("checkpoint starts with %q, want magic %q", raw[:len(checkpointMagic)], checkpointMagic)
+	}
+	version := int(raw[len(checkpointMagic)])<<8 | int(raw[len(checkpointMagic)+1])
+	if version != checkpointVersion {
+		t.Fatalf("header version %d, want %d", version, checkpointVersion)
+	}
+	if _, err := Load(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	raw := saveSmallNet(t)
+	raw[0] = 'X'
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "not a network checkpoint") {
+		t.Fatalf("bad magic: got %v, want a not-a-checkpoint error", err)
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	raw := saveSmallNet(t)
+	raw[len(checkpointMagic)] = 0xff // version 0xff01: far future
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version: got %v, want a version error", err)
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	raw := saveSmallNet(t)
+	// Truncation inside the header and inside the gob payload both name
+	// truncation, not a raw gob failure.
+	for _, n := range []int{0, 3, headerLen - 1, headerLen + 1, len(raw) / 2, len(raw) - 1} {
+		_, err := Load(bytes.NewReader(raw[:n]))
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncated at %d bytes: got %v, want a truncation error", n, err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkServePredict measures end-to-end /v1/predict latency through
+// the full HTTP + micro-batcher + feature + CNN pipeline.
+//
+// serial:  one client, cache off — every request pays extraction and
+//          inference; this is the per-clip floor.
+// batched: b.RunParallel clients, cache off — concurrent requests
+//          coalesce into micro-batches; throughput per clip should beat
+//          serial once batches form.
+// cached:  one client re-asking one clip — the dedup LRU answer path.
+func BenchmarkServePredict(b *testing.B) {
+	newBench := func(b *testing.B, cacheSize int) (string, *http.Client, func()) {
+		cfg := testConfig()
+		cfg.CacheSize = cacheSize
+		srv, ts := newTestServer(b, cfg, 1)
+		_ = srv
+		return ts.URL, ts.Client(), ts.Close
+	}
+	clips := testClips(64, 11)
+	bodies := make([][]byte, len(clips))
+	for i, c := range clips {
+		raw, err := json.Marshal(clipRequest(c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+	post := func(client *http.Client, url string, body []byte) error {
+		resp, err := client.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var pr struct{ Prob float64 }
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		url, client, done := newBench(b, 0)
+		defer done()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := post(client, url, bodies[i%len(bodies)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		url, client, done := newBench(b, 0)
+		defer done()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if err := post(client, url, bodies[i%len(bodies)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		url, client, done := newBench(b, 64)
+		defer done()
+		if err := post(client, url, bodies[0]); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := post(client, url, bodies[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// stage names for per-stage latency tracking. "extract" and "infer" are
+// the two compute stages of a flushed batch, "batch" is a whole flush
+// (dequeue to replies), and "request" is a predict request's wall time
+// inside the handler (queue wait included, JSON codec excluded).
+const (
+	stageExtract = "extract"
+	stageInfer   = "infer"
+	stageBatch   = "batch"
+	stageRequest = "request"
+)
+
+// windowSize is the per-stage sliding window backing the p50/p99
+// estimates: quantiles are computed over the most recent windowSize
+// observations at scrape time.
+const windowSize = 1024
+
+// ring is a fixed-capacity overwrite-oldest buffer of latency samples in
+// seconds.
+type ring struct {
+	buf  []float64
+	n    int // live samples, <= len(buf)
+	next int
+}
+
+func newRing() *ring { return &ring{buf: make([]float64, windowSize)} }
+
+func (r *ring) record(v float64) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// quantile returns the p-quantile (0 <= p <= 1) of the live window by
+// nearest-rank over a sorted copy; 0 when empty. Sorting at scrape time
+// keeps the record path O(1).
+func (r *ring) quantile(p float64, scratch []float64) float64 {
+	if r.n == 0 {
+		return 0
+	}
+	s := append(scratch[:0], r.buf[:r.n]...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// metrics is the server's counter registry. Everything is guarded by one
+// mutex — the critical sections are a few map operations, invisible next
+// to a rasterization or a CNN forward pass.
+type metrics struct {
+	mu         sync.Mutex
+	requests   map[string]map[int]int64 // endpoint → HTTP status → count
+	cacheHits  int64
+	cacheMiss  int64
+	batchSizes map[int]int64 // flushed batch size → count
+	stages     map[string]*ring
+	stageCount map[string]int64 // total observations per stage (window-independent)
+	scratch    []float64        // quantile sort buffer, reused under mu
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		requests:   make(map[string]map[int]int64),
+		batchSizes: make(map[int]int64),
+		stages:     make(map[string]*ring),
+		stageCount: make(map[string]int64),
+		scratch:    make([]float64, 0, windowSize),
+	}
+	for _, s := range []string{stageExtract, stageInfer, stageBatch, stageRequest} {
+		m.stages[s] = newRing()
+	}
+	return m
+}
+
+func (m *metrics) request(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.requests[endpoint]
+	if !ok {
+		byStatus = make(map[int]int64)
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+}
+
+func (m *metrics) cache(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMiss++
+	}
+}
+
+func (m *metrics) batch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchSizes[size]++
+}
+
+func (m *metrics) stage(name string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stages[name].record(d.Seconds())
+	m.stageCount[name]++
+}
+
+// StageStats summarizes one pipeline stage's latency.
+type StageStats struct {
+	// Count is the total number of observations since startup.
+	Count int64
+	// P50 and P99 are quantiles in seconds over the most recent
+	// observations (a sliding window of windowSize samples).
+	P50, P99 float64
+}
+
+// MetricsSnapshot is a point-in-time copy of every counter, exposed for
+// tests and programmatic scraping. The /metrics endpoint renders the same
+// data as text.
+type MetricsSnapshot struct {
+	// Requests counts finished HTTP requests by endpoint and status code.
+	Requests map[string]map[int]int64
+	// CacheHits and CacheMisses count predict-pipeline cache lookups.
+	CacheHits, CacheMisses int64
+	// CacheLen is the current number of cached clips.
+	CacheLen int
+	// BatchSizes histograms flushed micro-batches by exact size.
+	BatchSizes map[int]int64
+	// Stages maps stage name (extract, infer, batch, request) to latency
+	// stats.
+	Stages map[string]StageStats
+}
+
+// HitRate returns the cache hit fraction (0 when no lookups happened).
+func (s MetricsSnapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+func (m *metrics) snapshot(cacheLen int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		Requests:    make(map[string]map[int]int64, len(m.requests)),
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMiss,
+		CacheLen:    cacheLen,
+		BatchSizes:  make(map[int]int64, len(m.batchSizes)),
+		Stages:      make(map[string]StageStats, len(m.stages)),
+	}
+	for ep, byStatus := range m.requests {
+		cp := make(map[int]int64, len(byStatus))
+		for code, n := range byStatus {
+			cp[code] = n
+		}
+		snap.Requests[ep] = cp
+	}
+	for size, n := range m.batchSizes {
+		snap.BatchSizes[size] = n
+	}
+	for name, r := range m.stages {
+		snap.Stages[name] = StageStats{
+			Count: m.stageCount[name],
+			P50:   r.quantile(0.50, m.scratch),
+			P99:   r.quantile(0.99, m.scratch),
+		}
+	}
+	return snap
+}
+
+// renderText writes the snapshot in a flat, Prometheus-flavoured text
+// form. Map keys are emitted in sorted order so scrapes are deterministic.
+func (s MetricsSnapshot) renderText(b *strings.Builder) {
+	endpoints := make([]string, 0, len(s.Requests))
+	for ep := range s.Requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(s.Requests[ep]))
+		for code := range s.Requests[ep] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(b, "serve_requests_total{endpoint=%q,status=\"%d\"} %d\n", ep, code, s.Requests[ep][code])
+		}
+	}
+	fmt.Fprintf(b, "serve_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintf(b, "serve_cache_misses_total %d\n", s.CacheMisses)
+	fmt.Fprintf(b, "serve_cache_hit_rate %.6f\n", s.HitRate())
+	fmt.Fprintf(b, "serve_cache_entries %d\n", s.CacheLen)
+	sizes := make([]int, 0, len(s.BatchSizes))
+	for size := range s.BatchSizes {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		fmt.Fprintf(b, "serve_batch_size_total{size=\"%d\"} %d\n", size, s.BatchSizes[size])
+	}
+	stages := make([]string, 0, len(s.Stages))
+	for name := range s.Stages {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	for _, name := range stages {
+		st := s.Stages[name]
+		fmt.Fprintf(b, "serve_stage_seconds_count{stage=%q} %d\n", name, st.Count)
+		fmt.Fprintf(b, "serve_stage_seconds{stage=%q,q=\"p50\"} %.9f\n", name, st.P50)
+		fmt.Fprintf(b, "serve_stage_seconds{stage=%q,q=\"p99\"} %.9f\n", name, st.P99)
+	}
+}

@@ -1,0 +1,512 @@
+// Package serve is the online half of the system: a long-running HTTP
+// inference service answering "is this clip a hotspot?" queries with the
+// paper's pipeline (feature tensor §3 → Table 1 CNN §4.1).
+//
+// Per-clip inference is a pure function, so the serving layer wins its
+// throughput at the batching layer: concurrent single-clip requests are
+// coalesced by a micro-batcher (flush on max batch size or max wait
+// deadline) and run through the shared worker pool as one extraction
+// fan-out plus one batched forward pass — with responses bit-identical to
+// one-at-a-time serial inference, because batching only regroups pure
+// per-item work (see batcher.go and the parity test). A bounded LRU keyed
+// by a hash of the rasterized clip lets repeated clips skip the DCT and
+// the CNN entirely, and a bounded queue turns overload into explicit 429
+// backpressure instead of latency collapse.
+//
+// Endpoints: POST /v1/predict and /v1/predict/batch (clips as JSON
+// rectangles or a raw rasterized bitmap), GET /healthz, GET /readyz,
+// GET /metrics (plain-text counters: requests, cache hit rate, batch-size
+// histogram, per-stage latency), and POST /admin/reload, which atomically
+// swaps in a new checkpoint without dropping a request.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotspot/internal/feature"
+	"hotspot/internal/geom"
+	"hotspot/internal/parallel"
+	"hotspot/internal/raster"
+	"hotspot/internal/train"
+)
+
+// Config parameterizes the inference service.
+type Config struct {
+	// Feature is the feature tensor configuration; it must match the
+	// served network's input shape (checked at model load).
+	Feature feature.TensorConfig
+	// CoreSide is the default clip-core side in nanometres; a request
+	// that does not name an explicit core is scored on a CoreSide square
+	// centered in its frame.
+	CoreSide int
+	// MaxBatch is the micro-batcher's flush size.
+	MaxBatch int
+	// MaxWait is how long a batch waits for company before flushing.
+	MaxWait time.Duration
+	// QueueSize bounds the pending-request queue; a full queue fails
+	// fast with HTTP 429.
+	QueueSize int
+	// CacheSize bounds the clip-dedup LRU (entries); 0 disables it.
+	CacheSize int
+	// Workers bounds the goroutines for extraction and inference
+	// (0 = parallel.Default()). Pure throughput knob.
+	Workers int
+	// Shift is the decision-boundary shift λ of Equation (11), applied
+	// to the hotspot verdict (probabilities are reported unshifted).
+	Shift float64
+	// RequestTimeout bounds how long a request waits for its prediction.
+	RequestTimeout time.Duration
+}
+
+// DefaultConfig serves the paper-shaped model: 1200 nm cores into
+// 12×12×32 tensors, 32-clip/2ms micro-batches, a 4096-clip cache.
+func DefaultConfig() Config {
+	return Config{
+		Feature:        feature.DefaultTensorConfig(),
+		CoreSide:       1200,
+		MaxBatch:       32,
+		MaxWait:        2 * time.Millisecond,
+		QueueSize:      256,
+		CacheSize:      4096,
+		RequestTimeout: 5 * time.Second,
+	}
+}
+
+// Validate cross-checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Feature.Validate(); err != nil {
+		return err
+	}
+	if err := c.Feature.ValidateCore(c.CoreSide); err != nil {
+		return fmt.Errorf("serve: default core side %d nm: %w", c.CoreSide, err)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch must be >= 1, got %d", c.MaxBatch)
+	}
+	if c.MaxBatch > 1 && c.MaxWait <= 0 {
+		return fmt.Errorf("serve: MaxWait must be positive when batching (MaxBatch=%d)", c.MaxBatch)
+	}
+	if c.QueueSize < 1 {
+		return fmt.Errorf("serve: QueueSize must be >= 1, got %d", c.QueueSize)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("serve: CacheSize must be >= 0, got %d", c.CacheSize)
+	}
+	if c.RequestTimeout <= 0 {
+		return fmt.Errorf("serve: RequestTimeout must be positive, got %v", c.RequestTimeout)
+	}
+	return nil
+}
+
+// Server is the inference service. Build one with New, install a model
+// with LoadNetwork or LoadCheckpoint, and mount it anywhere an
+// http.Handler goes. Close drains in-flight batches; requests arriving
+// afterwards get 503s.
+type Server struct {
+	cfg     Config
+	model   atomic.Pointer[model]
+	cache   *clipCache
+	metrics *metrics
+	batcher *batcher
+	mux     *http.ServeMux
+	closed  atomic.Bool
+
+	// reloadMu serializes model swaps; lastPath remembers the most
+	// recent checkpoint path for path-less /admin/reload requests.
+	reloadMu sync.Mutex
+	lastPath string
+}
+
+// New validates the configuration and starts the (model-less) service;
+// readyz stays 503 until a model is loaded.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   newClipCache(cfg.CacheSize),
+		metrics: newMetrics(),
+	}
+	s.batcher = newBatcher(s, cfg.QueueSize, cfg.MaxBatch, cfg.MaxWait, parallel.New(cfg.Workers))
+	s.batcher.start()
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	mux.Handle("POST /v1/predict/batch", s.instrument("predict_batch", s.handlePredictBatch))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("POST /admin/reload", s.instrument("reload", s.handleReload))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the service's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops accepting predictions and drains every in-flight and queued
+// request. Safe to call more than once; HTTP shutdown (http.Server
+// .Shutdown) should run first so handlers are not mid-enqueue.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.batcher.Close()
+}
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(s.cache.len()) }
+
+// CenteredCore returns the side×side core window centered in frame (the
+// default scoring window when a request names no explicit core).
+func CenteredCore(frame geom.Rect, side int) geom.Rect {
+	x0 := frame.X0 + (frame.W()-side)/2
+	y0 := frame.Y0 + (frame.H()-side)/2
+	return geom.R(x0, y0, x0+side, y0+side)
+}
+
+// --- wire types ---
+
+// RectJSON is an axis-aligned rectangle in nanometres (x0,y0 inclusive,
+// x1,y1 exclusive), the wire form of geom.Rect.
+type RectJSON struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+func (r RectJSON) rect() geom.Rect { return geom.R(r.X0, r.Y0, r.X1, r.Y1) }
+
+// BitmapJSON is a pre-rasterized core window: a row-major W×H grid of
+// pixel coverage values in [0, 1] at the server's configured resolution.
+// The side must be square and divide evenly into the configured DCT
+// blocks.
+type BitmapJSON struct {
+	W   int       `json:"w"`
+	H   int       `json:"h"`
+	Pix []float64 `json:"pix"`
+}
+
+// ClipRequest is one clip to score: either drawn geometry (Frame plus
+// Rects, with an optional explicit Core window) or a raw Bitmap of the
+// core.
+type ClipRequest struct {
+	Frame  *RectJSON   `json:"frame,omitempty"`
+	Rects  []RectJSON  `json:"rects,omitempty"`
+	Core   *RectJSON   `json:"core,omitempty"`
+	Bitmap *BitmapJSON `json:"bitmap,omitempty"`
+}
+
+// PredictResponse is one clip's verdict.
+type PredictResponse struct {
+	// Prob is the hotspot probability y(1).
+	Prob float64 `json:"prob"`
+	// Hotspot applies the (shifted) decision rule to Prob.
+	Hotspot bool `json:"hotspot"`
+	// Cached reports whether the clip-dedup cache answered.
+	Cached bool `json:"cached"`
+}
+
+// BatchRequest scores several clips in one HTTP round trip.
+type BatchRequest struct {
+	Clips []ClipRequest `json:"clips"`
+}
+
+// BatchResponse carries one result per request clip, in order.
+type BatchResponse struct {
+	Results []PredictResponse `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; a 300×300 float64 bitmap in JSON is
+// well under 8 MB.
+const maxBodyBytes = 8 << 20
+
+// maxBatchClips bounds one /v1/predict/batch request.
+const maxBatchClips = 1024
+
+// --- request pipeline ---
+
+// coreImage turns a request clip into the rasterized core window the
+// pipeline operates on, mirroring feature.ExtractTensor's geometry exactly
+// (rasterize the full clip, crop the core) so served predictions are
+// bit-identical to offline ones.
+func (s *Server) coreImage(cr ClipRequest) (*raster.Image, error) {
+	cfg := s.cfg.Feature
+	if cr.Bitmap != nil {
+		bm := cr.Bitmap
+		if cr.Frame != nil || len(cr.Rects) > 0 || cr.Core != nil {
+			return nil, fmt.Errorf("clip has both bitmap and geometry; send one")
+		}
+		if bm.W <= 0 || bm.W != bm.H {
+			return nil, fmt.Errorf("bitmap %dx%d must be square and non-empty", bm.W, bm.H)
+		}
+		if len(bm.Pix) != bm.W*bm.H {
+			return nil, fmt.Errorf("bitmap has %d pixels, want %d", len(bm.Pix), bm.W*bm.H)
+		}
+		if err := cfg.ValidateCore(bm.W * cfg.ResNM); err != nil {
+			return nil, err
+		}
+		im := raster.NewImage(bm.W, bm.H)
+		copy(im.Pix, bm.Pix)
+		return im, nil
+	}
+	if cr.Frame == nil {
+		return nil, fmt.Errorf("clip needs a frame (or a bitmap)")
+	}
+	frame := cr.Frame.rect()
+	if frame.Empty() {
+		return nil, fmt.Errorf("frame %+v is empty", *cr.Frame)
+	}
+	rects := make([]geom.Rect, len(cr.Rects))
+	for i, r := range cr.Rects {
+		rects[i] = r.rect()
+	}
+	clip := geom.NewClip(frame, rects)
+	core := CenteredCore(frame, s.cfg.CoreSide)
+	if cr.Core != nil {
+		core = cr.Core.rect()
+	}
+	if core.W() != core.H() || core.Empty() {
+		return nil, fmt.Errorf("core %+v must be square and non-empty", core)
+	}
+	if !frame.ContainsRect(core) {
+		return nil, fmt.Errorf("core %+v outside clip frame %+v", core, frame)
+	}
+	if err := cfg.ValidateCore(core.W()); err != nil {
+		return nil, err
+	}
+	return feature.ExtractCoreImage(clip, core, cfg)
+}
+
+// predictOne resolves one core image to a verdict: cache lookup, then
+// enqueue and wait for the micro-batcher.
+func (s *Server) predictOne(ctx context.Context, im *raster.Image) (PredictResponse, error) {
+	key := hashImage(im)
+	if p, ok := s.cache.get(key); ok {
+		s.metrics.cache(true)
+		return PredictResponse{Prob: p, Hotspot: train.Decide(p, s.cfg.Shift), Cached: true}, nil
+	}
+	s.metrics.cache(false)
+	req := &request{im: im, key: key, resp: make(chan result, 1)}
+	if err := s.batcher.enqueue(req); err != nil {
+		return PredictResponse{}, err
+	}
+	select {
+	case res := <-req.resp:
+		if res.err != nil {
+			return PredictResponse{}, res.err
+		}
+		return PredictResponse{Prob: res.prob, Hotspot: train.Decide(res.prob, s.cfg.Shift)}, nil
+	case <-ctx.Done():
+		return PredictResponse{}, ctx.Err()
+	}
+}
+
+// statusOf maps pipeline errors to HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrNoModel):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var cr ClipRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&cr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	im, err := s.coreImage(cr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := s.predictOne(ctx, im)
+	if err != nil {
+		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	s.metrics.stage(stageRequest, time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var br BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&br); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(br.Clips) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no clips"})
+		return
+	}
+	if len(br.Clips) > maxBatchClips {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("%d clips exceeds the %d-clip limit", len(br.Clips), maxBatchClips)})
+		return
+	}
+	ims := make([]*raster.Image, len(br.Clips))
+	for i, cr := range br.Clips {
+		im, err := s.coreImage(cr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("clip %d: %v", i, err)})
+			return
+		}
+		ims[i] = im
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// Resolve cache hits and enqueue the misses before waiting on any of
+	// them, so one batch request can fill whole micro-batches.
+	results := make([]PredictResponse, len(ims))
+	type pending struct {
+		i   int
+		req *request
+	}
+	var waits []pending
+	for i, im := range ims {
+		key := hashImage(im)
+		if p, ok := s.cache.get(key); ok {
+			s.metrics.cache(true)
+			results[i] = PredictResponse{Prob: p, Hotspot: train.Decide(p, s.cfg.Shift), Cached: true}
+			continue
+		}
+		s.metrics.cache(false)
+		req := &request{im: im, key: key, resp: make(chan result, 1)}
+		if err := s.batcher.enqueue(req); err != nil {
+			writeJSON(w, statusOf(err), errorResponse{Error: fmt.Sprintf("clip %d: %v", i, err)})
+			return
+		}
+		waits = append(waits, pending{i: i, req: req})
+	}
+	for _, p := range waits {
+		select {
+		case res := <-p.req.resp:
+			if res.err != nil {
+				writeJSON(w, statusOf(res.err), errorResponse{Error: fmt.Sprintf("clip %d: %v", p.i, res.err)})
+				return
+			}
+			results[p.i] = PredictResponse{Prob: res.prob, Hotspot: train.Decide(res.prob, s.cfg.Shift)}
+		case <-ctx.Done():
+			writeJSON(w, statusOf(ctx.Err()), errorResponse{Error: ctx.Err().Error()})
+			return
+		}
+	}
+	s.metrics.stage(stageRequest, time.Since(start))
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.closed.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "shutting down\n")
+	case s.model.Load() == nil:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "no model loaded\n")
+	default:
+		_, _ = io.WriteString(w, "ready\n")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.Metrics().renderText(&b)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// reloadRequest is the /admin/reload body; an empty path re-reads the
+// checkpoint the server last loaded from disk.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var rr reloadRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&rr); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	path := rr.Path
+	if path == "" {
+		s.reloadMu.Lock()
+		path = s.lastPath
+		s.reloadMu.Unlock()
+	}
+	if path == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no checkpoint path: none given and none loaded before"})
+		return
+	}
+	if err := s.LoadCheckpoint(path); err != nil {
+		// The old model keeps serving; reload is all-or-nothing.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	info, _ := s.Model()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// --- plumbing ---
+
+// statusRecorder captures the handler's status code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request counting.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.request(endpoint, rec.status)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+}

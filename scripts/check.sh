@@ -8,6 +8,9 @@
 #                            concurrency, errors, hot-path allocation
 #                            (see DESIGN.md "Determinism & numerics rules")
 #   4. go test -race ./...   unit + parity tests under the race detector
+#   5. scripts/smoke         hsd-serve end-to-end smoke: boot on an
+#                            ephemeral port, predict, healthz, metrics,
+#                            SIGINT drain, zero exit
 #
 # Usage: scripts/check.sh [-short]
 #   -short   pass -short to go test (skips the slow experiment suites)
@@ -30,5 +33,8 @@ go run ./cmd/hsd-vet ./...
 
 echo "==> go test -race ${short} ./..."
 go test -race ${short} ./...
+
+echo "==> hsd-serve smoke"
+go run ./scripts/smoke
 
 echo "check gate: all legs green"

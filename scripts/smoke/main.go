@@ -1,0 +1,188 @@
+// Command smoke is the hsd-serve end-to-end smoke: it builds the server
+// binary, boots it on an ephemeral port with a random-weight network,
+// exercises the public surface (predict, healthz, metrics), then sends
+// SIGINT and verifies a clean drain and zero exit. scripts/check.sh runs
+// it as the serving leg of the gate.
+//
+// It is deliberately a Go program rather than shell: the checks (JSON
+// shape, probability range, metrics counters, exit status) are exact,
+// and it runs anywhere the toolchain does.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+const killAfter = 60 * time.Second
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("smoke: hsd-serve predict/healthz/metrics/shutdown OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "hsd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(tmp) }()
+
+	bin := filepath.Join(tmp, "hsd-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hsd-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build hsd-serve: %w", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-untrained", "-addr", "127.0.0.1:0",
+		"-max-batch", "8", "-max-wait", "2ms", "-workers", "2")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	// Kill guard: if anything below wedges, the server is shot after
+	// killAfter so the gate fails instead of hanging.
+	guard := time.AfterFunc(killAfter, func() { _ = cmd.Process.Kill() })
+	defer guard.Stop()
+
+	out := bufio.NewScanner(stdout)
+	addr := ""
+	for out.Scan() {
+		line := out.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "hsd-serve: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return fmt.Errorf("server never printed its listen address (scan err: %v)", out.Err())
+	}
+	base := "http://" + addr
+
+	fail := func(step string, err error) error {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return fmt.Errorf("%s: %w", step, err)
+	}
+
+	// One vertical wire through a 1200 nm clip, plus a repeat of the same
+	// clip so the metrics check can see a cache hit.
+	body := []byte(`{"frame":{"x0":0,"y0":0,"x1":1200,"y1":1200},` +
+		`"rects":[{"x0":500,"y0":0,"x1":560,"y1":1200}]}`)
+	for i := 0; i < 2; i++ {
+		prob, err := postPredict(base, body)
+		if err != nil {
+			return fail("predict", err)
+		}
+		if prob < 0 || prob > 1 {
+			return fail("predict", fmt.Errorf("probability %v outside [0,1]", prob))
+		}
+	}
+
+	health, err := get(base + "/healthz")
+	if err != nil {
+		return fail("healthz", err)
+	}
+	if !strings.Contains(health, "ok") {
+		return fail("healthz", fmt.Errorf("body %q", health))
+	}
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return fail("metrics", err)
+	}
+	for _, want := range []string{
+		`serve_requests_total{endpoint="predict",status="200"} 2`,
+		"serve_cache_hits_total 1",
+		"serve_batch_size_total",
+		"serve_stage_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fail("metrics", fmt.Errorf("missing %q in:\n%s", want, metrics))
+		}
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		return fail("interrupt", err)
+	}
+	drained := false
+	for out.Scan() {
+		line := out.Text()
+		fmt.Println(line)
+		if strings.Contains(line, "drained, bye") {
+			drained = true
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("server exit: %w", err)
+	}
+	if !drained {
+		return fmt.Errorf("server exited without the drain banner")
+	}
+	return nil
+}
+
+func postPredict(base string, body []byte) (float64, error) {
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var pr struct {
+		Prob    *float64 `json:"prob"`
+		Hotspot *bool    `json:"hotspot"`
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return 0, fmt.Errorf("bad JSON %q: %w", raw, err)
+	}
+	if pr.Prob == nil || pr.Hotspot == nil {
+		return 0, fmt.Errorf("response %q missing prob/hotspot", raw)
+	}
+	return *pr.Prob, nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
