@@ -12,11 +12,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"hotspot/internal/core"
 	"hotspot/internal/dataset"
 	"hotspot/internal/eval"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
 	"hotspot/internal/train"
 )
@@ -25,10 +25,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-eval: ")
 	var (
-		data    = flag.String("data", "", "suite file written by hsd-gen (required)")
-		model   = flag.String("model", "", "model file written by hsd-train (required)")
-		shift   = flag.Float64("shift", 0, "decision-boundary shift λ (Equation (11))")
-		workers = flag.Int("workers", 0, "worker goroutines for extraction and inference (0 = GOMAXPROCS); metrics are identical for any value")
+		data       = flag.String("data", "", "suite file written by hsd-gen (required)")
+		model      = flag.String("model", "", "model file written by hsd-train (required)")
+		shift      = flag.Float64("shift", 0, "decision-boundary shift λ (Equation (11))")
+		workers    = flag.Int("workers", 0, "worker goroutines for extraction and inference (0 = GOMAXPROCS); metrics are identical for any value")
+		metricsOut = flag.String("metrics-out", "", "dump the metrics registry as scrape text to this file at exit")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
@@ -60,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	testT, err := dataset.TensorSamples(ds.Test, ds.Core(), det.Config().Feature, *workers)
 	if err != nil {
 		log.Fatal(err)
@@ -73,10 +74,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eval.NewResult("Ours", ds.Name, m.TP, m.FP, m.FN, time.Since(start))
+	res, err := eval.NewResult("Ours", ds.Name, m.TP, m.FP, m.FN, watch.Elapsed())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-10s %6s %10s %12s %9s\n", "Bench", "FA#", "CPU(s)", "ODST(s)", "Accu")
 	fmt.Printf("%-10s %s\n", res.Benchmark, res.Row())
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the process metrics registry scrape text to path.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.Default().WriteText(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

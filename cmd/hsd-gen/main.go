@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"hotspot/internal/dataset"
 	"hotspot/internal/layout"
 	"hotspot/internal/litho"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
 )
 
@@ -62,12 +62,12 @@ func main() {
 	fmt.Printf("generating %s at scale %g: train %d HS / %d NHS, test %d HS / %d NHS\n",
 		style.Name, *scale, scaled.TrainHS, scaled.TrainNHS, scaled.TestHS, scaled.TestNHS)
 
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	suite, err := layout.BuildSuite(style, scaled, layout.BuildOptions{Seed: *seed, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("generated %d clips in %v\n", len(suite.Train)+len(suite.Test), time.Since(start))
+	fmt.Printf("generated %d clips in %v\n", len(suite.Train)+len(suite.Test), watch.Elapsed())
 
 	ds := dataset.FromSuite(suite, style)
 	f, err := os.Create(*out)

@@ -52,6 +52,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-request prediction timeout")
 		coreSide  = flag.Int("core", 1200, "default clip-core side in nm (centered in each request's frame)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof and /debug/obs on the listen address (off by default; exposes process internals)")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
@@ -99,7 +100,7 @@ func main() {
 	// the smoke runner (scripts/smoke) finds the server.
 	fmt.Printf("hsd-serve: listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := &http.Server{Handler: serve.DebugHandler(srv, *pprofOn)}
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	drained := make(chan struct{})

@@ -5,35 +5,64 @@
 //
 //	hsd-gen -bench ICCAD -scale 0.02 -out iccad.gob
 //	hsd-train -data iccad.gob -out model.gob -iters 2400
+//	hsd-train -data iccad.gob -out model.gob -telemetry train.jsonl -metrics-out metrics.txt
+//
+// With -telemetry the run emits structured JSONL: one "manifest" event
+// (config, seed, worker count), one "epoch" event per validation
+// checkpoint (loss, validation accuracy/recall/false alarms, learning
+// rate, step latency), and one "result" event (model checksum, output
+// path). With -metrics-out the process metrics registry (train/step,
+// train/epoch, feature and worker-pool stages) is dumped as scrape text
+// at exit. Both are observation only: the trained model bits are
+// identical with or without them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log"
 	"os"
 
 	"hotspot/internal/core"
 	"hotspot/internal/dataset"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
+	"hotspot/internal/train"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-train: ")
 	var (
-		data    = flag.String("data", "", "suite file written by hsd-gen (required)")
-		out     = flag.String("out", "model.gob", "output model file")
-		iters   = flag.Int("iters", 0, "override initial-round MGD iterations")
-		rounds  = flag.Int("rounds", 0, "override biased-learning rounds t")
-		lr      = flag.Float64("lr", 0, "override initial learning rate λ")
-		seed    = flag.Int64("seed", 0, "override training seed")
-		workers = flag.Int("workers", 0, "worker goroutines for extraction, gradients and validation (0 = GOMAXPROCS); the trained model is identical for any value")
+		data       = flag.String("data", "", "suite file written by hsd-gen (required)")
+		out        = flag.String("out", "model.gob", "output model file")
+		iters      = flag.Int("iters", 0, "override initial-round MGD iterations")
+		rounds     = flag.Int("rounds", 0, "override biased-learning rounds t")
+		lr         = flag.Float64("lr", 0, "override initial learning rate λ")
+		seed       = flag.Int64("seed", 0, "override training seed")
+		workers    = flag.Int("workers", 0, "worker goroutines for extraction, gradients and validation (0 = GOMAXPROCS); the trained model is identical for any value")
+		telemetry  = flag.String("telemetry", "", "write JSONL training telemetry (manifest, per-epoch records, result) to this file")
+		metricsOut = flag.String("metrics-out", "", "dump the metrics registry as scrape text to this file at exit")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
 	if *data == "" {
 		log.Fatal("-data is required")
+	}
+
+	var (
+		tlog  *obs.EventLog
+		tfile *os.File
+	)
+	if *telemetry != "" {
+		var err error
+		tfile, err = os.Create(*telemetry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tlog = obs.NewEventLog(tfile)
 	}
 
 	f, err := os.Open(*data)
@@ -69,6 +98,35 @@ func main() {
 		cfg.Biased.FineTune.Seed = *seed + 1
 		cfg.Net.Seed = *seed + 2
 	}
+	tlog.Emit("manifest", map[string]any{
+		"tool":          "hsd-train",
+		"suite":         ds.Name,
+		"train_hs":      hs,
+		"train_nhs":     nhs,
+		"seed":          cfg.Seed,
+		"workers":       parallel.Workers(*workers),
+		"rounds":        cfg.Biased.Rounds,
+		"max_iters":     cfg.Biased.Initial.MaxIters,
+		"batch_size":    cfg.Biased.Initial.BatchSize,
+		"learning_rate": cfg.Biased.Initial.LearningRate,
+	})
+	if tlog != nil {
+		cfg.OnEpoch = func(round int, eps float64, e train.EpochEvent) {
+			tlog.Emit("epoch", map[string]any{
+				"round":            round,
+				"eps":              eps,
+				"iter":             e.Iter,
+				"loss":             e.TrainLoss,
+				"val_accuracy":     e.ValAccuracy,
+				"val_recall":       e.ValRecall,
+				"val_false_alarms": e.ValFA,
+				"learning_rate":    e.LearningRate,
+				"step_p50_seconds": e.StepP50,
+				"step_p99_seconds": e.StepP99,
+				"elapsed_seconds":  e.Elapsed.Seconds(),
+			})
+		}
+	}
 	det, err := core.NewDetector(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -90,12 +148,47 @@ func main() {
 		log.Fatal(err)
 	}
 	// A failed Close on a file being written is silent data loss: check
-	// it instead of deferring it into the void.
-	if err := det.Save(mf); err != nil {
+	// it instead of deferring it into the void. The checkpoint bytes are
+	// teed through FNV-1a so the telemetry names exactly what was written.
+	sum := fnv.New64a()
+	if err := det.Save(io.MultiWriter(mf, sum)); err != nil {
 		log.Fatal(err)
 	}
 	if err := mf.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	tlog.Emit("result", map[string]any{
+		"model":           *out,
+		"model_fnv64a":    fmt.Sprintf("%016x", sum.Sum64()),
+		"train_samples":   report.TrainSamples,
+		"val_samples":     report.ValSamples,
+		"elapsed_seconds": report.Elapsed.Seconds(),
+	})
+	if tfile != nil {
+		if err := tlog.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if err := tfile.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the process metrics registry scrape text to path.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.Default().WriteText(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

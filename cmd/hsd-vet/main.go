@@ -1,7 +1,7 @@
-// Command hsd-vet runs the project's static-analysis suite: five analyzers
-// that machine-check the determinism, numerics, and concurrency contracts
-// the reproduction depends on (see DESIGN.md "Determinism & numerics
-// rules"). It is part of the standing check gate alongside `go vet` and
+// Command hsd-vet runs the project's static-analysis suite: six analyzers
+// that machine-check the determinism, numerics, concurrency, and
+// observability contracts the reproduction depends on (see DESIGN.md
+// "Determinism & numerics rules"). It is part of the standing check gate alongside `go vet` and
 // `go test -race` (scripts/check.sh).
 //
 // Usage:

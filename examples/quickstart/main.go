@@ -15,6 +15,7 @@ import (
 	"hotspot/internal/core"
 	"hotspot/internal/dataset"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 )
 
 func main() {
@@ -26,14 +27,14 @@ func main() {
 	style := layout.StyleICCAD()
 	counts := layout.Counts{TrainHS: 40, TrainNHS: 160, TestHS: 20, TestNHS: 80}
 	fmt.Println("generating labelled clips (lithography oracle)...")
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	suite, err := layout.BuildSuite(style, counts, layout.BuildOptions{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
 	hs, nhs := dataset.Stats(suite.Train)
 	fmt.Printf("  %d train clips (%d hotspot / %d not), %d test clips in %v\n",
-		len(suite.Train), hs, nhs, len(suite.Test), time.Since(start).Round(time.Second))
+		len(suite.Train), hs, nhs, len(suite.Test), watch.Elapsed().Round(time.Second))
 
 	// 2. Build the detector: 12×12×32 feature tensors into the Table 1
 	//    CNN, trained with biased learning. The quickstart shortens the

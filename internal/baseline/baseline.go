@@ -13,7 +13,6 @@ package baseline
 
 import (
 	"fmt"
-	"time"
 
 	"hotspot/internal/boost"
 	"hotspot/internal/dataset"
@@ -21,6 +20,7 @@ import (
 	"hotspot/internal/feature"
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 )
 
 // SPIE15Config parameterizes the density + AdaBoost detector.
@@ -170,7 +170,7 @@ func evaluateDetector(name, benchmark string, samples []layout.Sample, predict f
 		return eval.Result{}, fmt.Errorf("baseline: empty test set")
 	}
 	tp, fp, fn := 0, 0, 0
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	for _, s := range samples {
 		pred, err := predict(s.Clip)
 		if err != nil {
@@ -185,5 +185,5 @@ func evaluateDetector(name, benchmark string, samples []layout.Sample, predict f
 			fn++
 		}
 	}
-	return eval.NewResult(name, benchmark, tp, fp, fn, time.Since(start))
+	return eval.NewResult(name, benchmark, tp, fp, fn, watch.Elapsed())
 }

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"hotspot/internal/eval"
 	"hotspot/internal/feature"
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 )
 
 // PatternMatchConfig parameterizes the fuzzy pattern-matching detector the
@@ -130,7 +130,7 @@ func (pm *PatternMatcher) Evaluate(samples []layout.Sample, benchmark string) (e
 		return eval.Result{}, fmt.Errorf("baseline: empty test set")
 	}
 	tp, fp, fn := 0, 0, 0
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	for _, s := range samples {
 		pred, err := pm.Predict(s.Clip)
 		if err != nil {
@@ -145,7 +145,7 @@ func (pm *PatternMatcher) Evaluate(samples []layout.Sample, benchmark string) (e
 			fn++
 		}
 	}
-	return eval.NewResult("PatternMatch", benchmark, tp, fp, fn, time.Since(start))
+	return eval.NewResult("PatternMatch", benchmark, tp, fp, fn, watch.Elapsed())
 }
 
 func meanAbsDiff(a, b []float64) float64 {

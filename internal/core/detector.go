@@ -17,6 +17,7 @@ import (
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
 	"hotspot/internal/nn"
+	"hotspot/internal/obs"
 	"hotspot/internal/train"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	// produces identical results; this is purely a throughput knob. When
 	// non-zero it overrides the Workers fields of the nested MGD configs.
 	Workers int
+	// OnEpoch, when set, receives per-epoch training telemetry from every
+	// biased-learning round (round index, bias ε, checkpoint metrics).
+	// Observation only; it cannot change the trained weights. Not part of
+	// the persisted model.
+	OnEpoch func(round int, eps float64, e train.EpochEvent)
 }
 
 // DefaultConfig mirrors the paper at laptop scale: the Table 1 network on
@@ -177,7 +183,7 @@ func (d *Detector) Train(samples []layout.Sample, core geom.Rect) (*TrainReport,
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	rounds, err := train.BiasedLearning(d.net, trainT, valT, d.biasedConfig())
 	if err != nil {
 		return nil, err
@@ -186,7 +192,7 @@ func (d *Detector) Train(samples []layout.Sample, core geom.Rect) (*TrainReport,
 		Rounds:       rounds,
 		TrainSamples: len(trainT),
 		ValSamples:   len(valT),
-		Elapsed:      time.Since(start),
+		Elapsed:      watch.Elapsed(),
 	}, nil
 }
 
@@ -199,7 +205,7 @@ func (d *Detector) TrainTensors(samples []train.Sample) (*TrainReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	rounds, err := train.BiasedLearning(d.net, trainSet, valSet, d.biasedConfig())
 	if err != nil {
 		return nil, err
@@ -208,7 +214,7 @@ func (d *Detector) TrainTensors(samples []train.Sample) (*TrainReport, error) {
 		Rounds:       rounds,
 		TrainSamples: len(trainSet),
 		ValSamples:   len(valSet),
-		Elapsed:      time.Since(start),
+		Elapsed:      watch.Elapsed(),
 	}, nil
 }
 
@@ -219,6 +225,9 @@ func (d *Detector) biasedConfig() train.BiasedConfig {
 	if d.cfg.Workers != 0 {
 		cfg.Initial.Workers = d.cfg.Workers
 		cfg.FineTune.Workers = d.cfg.Workers
+	}
+	if d.cfg.OnEpoch != nil {
+		cfg.OnEpoch = d.cfg.OnEpoch
 	}
 	return cfg
 }
@@ -249,7 +258,7 @@ func (d *Detector) Evaluate(samples []layout.Sample, core geom.Rect, benchmark s
 	if len(samples) == 0 {
 		return eval.Result{}, fmt.Errorf("core: empty test set")
 	}
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	clips := make([]geom.Clip, len(samples))
 	for i, s := range samples {
 		clips[i] = s.Clip
@@ -278,7 +287,7 @@ func (d *Detector) Evaluate(samples []layout.Sample, core geom.Rect, benchmark s
 			fn++
 		}
 	}
-	return eval.NewResult("Ours", benchmark, tp, fp, fn, time.Since(start))
+	return eval.NewResult("Ours", benchmark, tp, fp, fn, watch.Elapsed())
 }
 
 // EvaluateTensors scores pre-extracted tensors at a given boundary shift.

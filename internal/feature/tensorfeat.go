@@ -8,9 +8,11 @@ package feature
 
 import (
 	"fmt"
+	"time"
 
 	"hotspot/internal/dct"
 	"hotspot/internal/geom"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/tensor"
@@ -116,7 +118,9 @@ func ExtractTensor(clip geom.Clip, core geom.Rect, cfg TensorConfig) (*tensor.Te
 // the pixels for clip deduplication, and hand the same image to
 // ExtractTensorFromImage without re-rasterizing.
 func ExtractCoreImage(clip geom.Clip, core geom.Rect, cfg TensorConfig) (*raster.Image, error) {
+	watch := obs.NewStopwatch()
 	im, err := raster.Rasterize(clip, cfg.ResNM)
+	obs.Default().Stage("feature/raster").ObserveDuration(watch.Elapsed())
 	if err != nil {
 		return nil, err
 	}
@@ -141,19 +145,25 @@ func ExtractTensors(clips []geom.Clip, core geom.Rect, cfg TensorConfig, workers
 }
 
 // extractFromImage runs block-DCT encoding over an already-rasterized core.
+// The transform and scatter phases accumulate into the feature/dct and
+// feature/zigzag stage summaries, one observation per clip (aggregated
+// across its blocks).
 func extractFromImage(im *raster.Image, b int, cfg TensorConfig) (*tensor.Tensor, error) {
 	n := cfg.Blocks
 	corner := dct.CoefficientCorner(b, cfg.K)
 	order := dct.ZigZagOrder(b, b)
 	out := tensor.New(cfg.K, n, n)
 	block := make([]float64, b*b)
+	var dctTime, zigTime time.Duration
 	for by := 0; by < n; by++ {
 		for bx := 0; bx < n; bx++ {
 			for y := 0; y < b; y++ {
 				srcRow := (by*b + y) * im.W
 				copy(block[y*b:(y+1)*b], im.Pix[srcRow+bx*b:srcRow+bx*b+b])
 			}
+			dctWatch := obs.NewStopwatch()
 			coef, err := dct.ForwardTruncated2D(block, b, b, corner, corner)
+			dctTime += dctWatch.Elapsed()
 			if err != nil {
 				return nil, err
 			}
@@ -161,6 +171,7 @@ func extractFromImage(im *raster.Image, b int, cfg TensorConfig) (*tensor.Tensor
 			if cfg.Normalize {
 				scale = 1 / float64(b)
 			}
+			zigWatch := obs.NewStopwatch()
 			for i := 0; i < cfg.K; i++ {
 				idx := order[i]
 				u, v := idx/b, idx%b
@@ -168,8 +179,11 @@ func extractFromImage(im *raster.Image, b int, cfg TensorConfig) (*tensor.Tensor
 				// construction (dct.CoefficientCorner).
 				out.Set(coef[u*corner+v]*scale, i, by, bx)
 			}
+			zigTime += zigWatch.Elapsed()
 		}
 	}
+	obs.Default().Stage("feature/dct").ObserveDuration(dctTime)
+	obs.Default().Stage("feature/zigzag").ObserveDuration(zigTime)
 	return out, nil
 }
 

@@ -4,8 +4,9 @@
 // "Determinism & numerics rules"): keyed RNG streams instead of wall-clock
 // or global randomness (seedlint), no float equality or map-ordered float
 // reduction (floatlint), all fan-out on internal/parallel's bounded pool
-// (goroutinelint), no silently discarded errors (errlint), and no per-call
-// slice churn in the nn/tensor/train hot paths (buflint).
+// (goroutinelint), no silently discarded errors (errlint), no per-call
+// slice churn in the nn/tensor/train hot paths (buflint), and no raw
+// wall-clock reads outside internal/obs (timing).
 //
 // The package mirrors the golang.org/x/tools/go/analysis contract
 // (Analyzer, Pass, Diagnostic) on the standard library alone — go/ast for
@@ -79,7 +80,7 @@ func (d Diagnostic) String() string {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Seedlint, Floatlint, Goroutinelint, Errlint, Buflint}
+	return []*Analyzer{Seedlint, Floatlint, Goroutinelint, Errlint, Buflint, Timing}
 }
 
 // Select resolves a comma-separated list of analyzer names, defaulting to

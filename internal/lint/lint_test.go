@@ -33,13 +33,19 @@ func TestBuflint(t *testing.T) {
 		"./testdata/src/buflint/other")
 }
 
+func TestTiming(t *testing.T) {
+	linttest.Run(t, lint.Timing,
+		"./testdata/src/timing/a",
+		"./testdata/src/timing/internal/obs")
+}
+
 func TestSelect(t *testing.T) {
 	all, err := lint.Select("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("All: got %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All: got %d analyzers, want 6", len(all))
 	}
 	two, err := lint.Select("seedlint, errlint")
 	if err != nil {

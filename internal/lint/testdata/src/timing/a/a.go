@@ -1,0 +1,31 @@
+// Package a is the timing fixture: raw time.Now reads outside
+// internal/obs are flagged — timing belongs on the obs stopwatches —
+// unless the site carries an //hsd:allow timing waiver with a reason.
+package a
+
+import "time"
+
+// adHocTimer is the pattern the analyzer exists to kill: a wall-clock
+// read bypassing the metrics registry.
+func adHocTimer(work func()) time.Duration {
+	start := time.Now() // want "raw time.Now outside internal/obs"
+	work()
+	return time.Since(start)
+}
+
+// nested reads are flagged too, not just statement-level ones.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "raw time.Now outside internal/obs"
+}
+
+// deadline documents the waiver contract: a clock read that must produce
+// an absolute time (not an elapsed duration) cannot go through a
+// stopwatch, and says so.
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) //hsd:allow timing absolute deadline for a conn, not a measurement; obs timers only yield durations
+}
+
+// durations without a clock read are fine.
+func budget() time.Duration {
+	return 3 * time.Second
+}

@@ -1,0 +1,19 @@
+// Package obs models the real internal/obs package: its import path ends
+// in internal/obs, so timing exempts it — the Stopwatch has to read the
+// clock somewhere.
+package obs
+
+import "time"
+
+// Stopwatch is the one sanctioned wrapper around the wall clock.
+type Stopwatch struct{ start time.Time }
+
+// NewStopwatch reads the clock: true negative, the exemption in action.
+func NewStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed reports the time since construction.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventLog writes structured events as JSON Lines: one object per line,
+// each carrying an "event" type field plus caller-supplied fields. It is
+// the telemetry channel of hsd-train (run manifest, per-epoch records).
+// A nil *EventLog discards events, so instrumented code needs no guards.
+// Safe for concurrent use; each line is written in one Write call.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewEventLog returns an event log writing to w.
+func NewEventLog(w io.Writer) *EventLog { return &EventLog{w: w} }
+
+// Emit writes one event line of type event with the given fields. The
+// "event" key is reserved; a colliding field is overwritten. Field maps
+// are marshalled with encoding/json, so keys serialize in sorted order
+// and lines are reproducible for tests. The first write error sticks and
+// silences subsequent emits (telemetry must never abort a training run);
+// check Err at shutdown.
+func (l *EventLog) Emit(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+1)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// Only unserializable caller values can land here; record and drop.
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		l.mu.Unlock()
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if _, err := l.w.Write(line); err != nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write or marshal error, if any.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

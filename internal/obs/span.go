@@ -1,0 +1,47 @@
+package obs
+
+import "time"
+
+// Stopwatch is the package's clock primitive: every duration measured in
+// this repository starts from one of these, so the `timing` analyzer of
+// hsd-vet can confine raw time.Now calls to this file. A Stopwatch is a
+// value; copying one copies its start instant.
+type Stopwatch struct{ start time.Time }
+
+// NewStopwatch starts a stopwatch at the current instant.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the time since the stopwatch started.
+func (w Stopwatch) Elapsed() time.Duration { return time.Since(w.start) }
+
+// Span is a begin/end timer over a hierarchical stage name. Ending a span
+// records its elapsed seconds into the registry's stage summary for that
+// name (series {stage="parent/child"} of the stage metric), so nested
+// spans produce the per-stage count/p50/p99 taxonomy the scrape exposes.
+type Span struct {
+	r     *Registry
+	name  string
+	watch Stopwatch
+}
+
+// StartSpan begins a span named stage recording into this registry.
+func (r *Registry) StartSpan(stage string) *Span {
+	return &Span{r: r, name: stage, watch: NewStopwatch()}
+}
+
+// Child begins a nested span; its stage name is parent/name.
+func (s *Span) Child(name string) *Span {
+	return s.r.StartSpan(s.name + "/" + name)
+}
+
+// Name returns the span's full hierarchical stage name.
+func (s *Span) Name() string { return s.name }
+
+// End records the span's elapsed seconds under its stage name and returns
+// the elapsed duration. End is idempotent in effect only if called once;
+// call it exactly once per span.
+func (s *Span) End() time.Duration {
+	d := s.watch.Elapsed()
+	s.r.Stage(s.name).ObserveDuration(d)
+	return d
+}

@@ -21,6 +21,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hotspot/internal/obs"
 )
 
 // defaultWorkers holds the process-wide default worker count; 0 means
@@ -60,11 +63,46 @@ func Workers(n int) int {
 // Pool is safe for reuse and costs nothing while idle.
 type Pool struct {
 	workers int
+
+	// Instrumentation handles, resolved once at New so the hot paths
+	// never touch the registry's lock or allocate label strings. Fan-out
+	// passes record wall time (parallel/pass), per-worker kickoff latency
+	// (parallel/queue) and the busy fraction of the worker set
+	// (hsd_parallel_utilization). Observation only — nothing here feeds
+	// the computation, and the serial (one-worker) inline path stays
+	// completely uninstrumented.
+	passSum  *obs.Summary
+	queueSum *obs.Summary
+	utilSum  *obs.Summary
 }
 
 // New builds a pool with the given worker bound; workers <= 0 means
 // Default().
-func New(workers int) *Pool { return &Pool{workers: Workers(workers)} }
+func New(workers int) *Pool {
+	reg := obs.Default()
+	return &Pool{
+		workers:  Workers(workers),
+		passSum:  reg.Stage("parallel/pass"),
+		queueSum: reg.Stage("parallel/queue"),
+		utilSum:  reg.Summary("hsd_parallel_utilization", 0),
+	}
+}
+
+// observePass records one parallel pass: wall time, each worker's wake
+// latency (time from kickoff to its loop starting), and the aggregate
+// utilization busy/(workers·wall). Called on the orchestrating goroutine
+// after the join, so workers never contend on summary locks.
+func (p *Pool) observePass(wall time.Duration, wake, busy []time.Duration) {
+	p.passSum.ObserveDuration(wall)
+	var total time.Duration
+	for i := range busy {
+		total += busy[i]
+		p.queueSum.ObserveDuration(wake[i])
+	}
+	if wall > 0 {
+		p.utilSum.Observe(float64(total) / (float64(len(busy)) * float64(wall)))
+	}
+}
 
 // Size returns the pool's worker bound.
 func (p *Pool) Size() int { return p.workers }
@@ -102,10 +140,16 @@ func (p *Pool) For(n int, fn func(worker, i int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	watch := obs.NewStopwatch()
+	wake := make([]time.Duration, w)
+	busy := make([]time.Duration, w)
 	for worker := 0; worker < w; worker++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			wake[worker] = watch.Elapsed()
+			workerWatch := obs.NewStopwatch()
+			defer func() { busy[worker] = workerWatch.Elapsed() }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -122,6 +166,7 @@ func (p *Pool) For(n int, fn func(worker, i int) error) error {
 		}(worker)
 	}
 	wg.Wait()
+	p.observePass(watch.Elapsed(), wake, busy)
 	return firstErr
 }
 
@@ -134,35 +179,45 @@ func (p *Pool) For(n int, fn func(worker, i int) error) error {
 // determinism contract of Pool.For applies unchanged.
 type Session struct {
 	workers int
+	pool    *Pool
 	jobs    []chan struct{}
 	done    sync.WaitGroup
 
 	// Per-pass state, owned by For between kickoff and join. Kept on the
 	// struct (rather than in a per-pass job value) so a pass performs no
 	// heap allocation; the channel send/receive orders these writes before
-	// the workers read them.
+	// the workers read them. wake and busy are each worker's own slot
+	// (written by the worker, read after the join); watch is the pass
+	// stopwatch, set before kickoff.
 	n        int
 	fn       func(worker, i int) error
 	next     atomic.Int64
 	mu       sync.Mutex
 	firstIdx int
 	firstErr error
+	watch    obs.Stopwatch
+	wake     []time.Duration
+	busy     []time.Duration
 }
 
 // Session pins the pool's workers for repeated passes. With a one-worker
 // pool no goroutines are started and For runs inline.
 func (p *Pool) Session() *Session {
-	s := &Session{workers: p.workers}
+	s := &Session{workers: p.workers, pool: p}
 	if s.workers <= 1 {
 		return s
 	}
 	s.jobs = make([]chan struct{}, s.workers)
+	s.wake = make([]time.Duration, s.workers)
+	s.busy = make([]time.Duration, s.workers)
 	for w := range s.jobs {
 		s.jobs[w] = make(chan struct{}, 1)
 	}
 	for w := range s.jobs {
 		go func(worker int) {
 			for range s.jobs[worker] {
+				s.wake[worker] = s.watch.Elapsed()
+				workerWatch := obs.NewStopwatch()
 				for {
 					i := int(s.next.Add(1)) - 1
 					if i >= s.n {
@@ -176,6 +231,7 @@ func (p *Pool) Session() *Session {
 						s.mu.Unlock()
 					}
 				}
+				s.busy[worker] = workerWatch.Elapsed()
 				s.done.Done()
 			}
 		}(w)
@@ -202,12 +258,14 @@ func (s *Session) For(n int, fn func(worker, i int) error) error {
 	s.n, s.fn = n, fn
 	s.next.Store(0)
 	s.firstIdx, s.firstErr = n, nil
+	s.watch = obs.NewStopwatch()
 	s.done.Add(s.workers)
 	for _, ch := range s.jobs {
 		ch <- struct{}{}
 	}
 	s.done.Wait()
 	s.fn = nil
+	s.pool.observePass(s.watch.Elapsed(), s.wake, s.busy)
 	return s.firstErr
 }
 

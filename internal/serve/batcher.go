@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hotspot/internal/feature"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/tensor"
@@ -31,6 +32,7 @@ type request struct {
 	im   *raster.Image
 	key  uint64
 	resp chan result
+	enq  obs.Stopwatch // started at enqueue; read when the batch starts (queue stage)
 }
 
 // result is the outcome delivered back to the waiting handler.
@@ -98,6 +100,7 @@ func (b *batcher) enqueue(r *request) error {
 	if b.closed {
 		return ErrShuttingDown
 	}
+	r.enq = obs.NewStopwatch()
 	select {
 	case b.queue <- r:
 		return nil
@@ -190,7 +193,7 @@ type extraction struct {
 // run executes one micro-batch: parallel feature extraction, batched
 // inference, replies, cache fills.
 func (b *batcher) run(batch []*request) {
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	m := b.srv.model.Load()
 	if m == nil {
 		for _, r := range batch {
@@ -200,13 +203,16 @@ func (b *batcher) run(batch []*request) {
 	}
 	n := len(batch)
 	b.srv.metrics.batch(n)
+	for _, r := range batch {
+		b.srv.metrics.stage(stageQueue, r.enq.Elapsed())
+	}
 
-	t0 := time.Now()
+	extractWatch := obs.NewStopwatch()
 	exts, _ := parallel.Map(b.pool, n, func(_, i int) (extraction, error) {
 		x, err := feature.ExtractTensorFromImage(batch[i].im, b.srv.cfg.Feature)
 		return extraction{x: x, err: err}, nil
 	})
-	b.srv.metrics.stage(stageExtract, time.Since(t0))
+	b.srv.metrics.stage(stageExtract, extractWatch.Elapsed())
 
 	xs := make([]*tensor.Tensor, 0, n)
 	idx := make([]int, 0, n)
@@ -219,9 +225,9 @@ func (b *batcher) run(batch []*request) {
 		idx = append(idx, i)
 	}
 	if len(xs) > 0 {
-		t1 := time.Now()
+		inferWatch := obs.NewStopwatch()
 		probs, err := m.ev.PredictProbs(xs)
-		b.srv.metrics.stage(stageInfer, time.Since(t1))
+		b.srv.metrics.stage(stageInfer, inferWatch.Elapsed())
 		for j, i := range idx {
 			if err != nil {
 				batch[i].resp <- result{err: err}
@@ -231,5 +237,5 @@ func (b *batcher) run(batch []*request) {
 			batch[i].resp <- result{prob: probs[j]}
 		}
 	}
-	b.srv.metrics.stage(stageBatch, time.Since(start))
+	b.srv.metrics.stage(stageBatch, watch.Elapsed())
 }

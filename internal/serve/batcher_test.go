@@ -143,31 +143,6 @@ func TestHashImageDistinguishes(t *testing.T) {
 	}
 }
 
-// TestRingQuantiles pins the nearest-rank math on a known window.
-func TestRingQuantiles(t *testing.T) {
-	r := newRing()
-	scratch := make([]float64, 0, windowSize)
-	if q := r.quantile(0.5, scratch); q != 0 {
-		t.Fatalf("empty ring p50 = %v", q)
-	}
-	for i := 1; i <= 100; i++ {
-		r.record(float64(i))
-	}
-	if got := r.quantile(0.50, scratch); got != 50 {
-		t.Fatalf("p50 of 1..100 = %v, want 50", got)
-	}
-	if got := r.quantile(0.99, scratch); got != 99 {
-		t.Fatalf("p99 of 1..100 = %v, want 99", got)
-	}
-	// Overflow the window: the oldest samples fall out.
-	for i := 0; i < windowSize; i++ {
-		r.record(7)
-	}
-	if got := r.quantile(0.99, scratch); got != 7 {
-		t.Fatalf("p99 after overwrite = %v, want 7", got)
-	}
-}
-
 // TestCenteredCore pins the default-core geometry.
 func TestCenteredCore(t *testing.T) {
 	got := CenteredCore(geom.R(0, 0, 480, 480), 192)

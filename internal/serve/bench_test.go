@@ -12,10 +12,14 @@ import (
 // the full HTTP + micro-batcher + feature + CNN pipeline.
 //
 // serial:  one client, cache off — every request pays extraction and
-//          inference; this is the per-clip floor.
+//
+//	inference; this is the per-clip floor.
+//
 // batched: b.RunParallel clients, cache off — concurrent requests
-//          coalesce into micro-batches; throughput per clip should beat
-//          serial once batches form.
+//
+//	coalesce into micro-batches; throughput per clip should beat
+//	serial once batches form.
+//
 // cached:  one client re-asking one clip — the dedup LRU answer path.
 func BenchmarkServePredict(b *testing.B) {
 	newBench := func(b *testing.B, cacheSize int) (string, *http.Client, func()) {

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"hotspot/internal/obs"
+)
+
+// DebugHandler wraps the server with an optional debug surface. With
+// debug off (the default) it returns srv unchanged, so /debug/* 404s like
+// any unknown path. With debug on it mounts, next to the service's own
+// endpoints:
+//
+//	/debug/pprof/...   the standard net/http/pprof profile endpoints
+//	/debug/obs         a text dump of the server's metrics registry
+//	                   followed by the process-wide obs.Default registry
+//
+// The profile endpoints expose internals (stacks, heap contents), so the
+// flag gating this must stay off by default and on trusted interfaces
+// only.
+func DebugHandler(srv *Server, debug bool) http.Handler {
+	if !debug {
+		return srv
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "# server registry\n")
+		_ = srv.Registry().WriteText(w)
+		_, _ = io.WriteString(w, "# process registry\n")
+		_ = obs.Default().WriteText(w)
+	})
+	return mux
+}

@@ -1,0 +1,80 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hotspot/internal/serve"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugHandlerOff: with debug disabled, DebugHandler is the server
+// itself — /debug/* 404s and the service endpoints still answer.
+func TestDebugHandlerOff(t *testing.T) {
+	srv, err := serve.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(serve.DebugHandler(srv, false))
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/obs"} {
+		if code, _ := getBody(t, ts.URL+path); code != http.StatusNotFound {
+			t.Errorf("GET %s with debug off = %d, want 404", path, code)
+		}
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz through disabled debug handler = %d, want 200", code)
+	}
+}
+
+// TestDebugHandlerOn: with debug enabled, pprof and the registry dump are
+// mounted and the service endpoints still answer.
+func TestDebugHandlerOn(t *testing.T) {
+	srv, err := serve.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(serve.DebugHandler(srv, true))
+	defer ts.Close()
+
+	code, body := getBody(t, ts.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof cmdline = %d (%d bytes), want 200 with content", code, len(body))
+	}
+	code, body = getBody(t, ts.URL+"/debug/obs")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/obs = %d, want 200", code)
+	}
+	for _, want := range []string{
+		"# server registry",
+		"# process registry",
+		`serve_stage_seconds_count{stage="extract"}`,
+		"serve_cache_hit_rate",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/obs missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz through debug handler = %d, want 200", code)
+	}
+}

@@ -1,120 +1,89 @@
 package serve
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"time"
+
+	"hotspot/internal/obs"
 )
 
 // stage names for per-stage latency tracking. "extract" and "infer" are
 // the two compute stages of a flushed batch, "batch" is a whole flush
-// (dequeue to replies), and "request" is a predict request's wall time
+// (dequeue to replies), "queue" is a request's wait between enqueue and
+// its batch starting, and "request" is a predict request's wall time
 // inside the handler (queue wait included, JSON codec excluded).
 const (
 	stageExtract = "extract"
 	stageInfer   = "infer"
 	stageBatch   = "batch"
+	stageQueue   = "queue"
 	stageRequest = "request"
 )
 
-// windowSize is the per-stage sliding window backing the p50/p99
-// estimates: quantiles are computed over the most recent windowSize
-// observations at scrape time.
-const windowSize = 1024
-
-// ring is a fixed-capacity overwrite-oldest buffer of latency samples in
-// seconds.
-type ring struct {
-	buf  []float64
-	n    int // live samples, <= len(buf)
-	next int
-}
-
-func newRing() *ring { return &ring{buf: make([]float64, windowSize)} }
-
-func (r *ring) record(v float64) {
-	r.buf[r.next] = v
-	r.next = (r.next + 1) % len(r.buf)
-	if r.n < len(r.buf) {
-		r.n++
-	}
-}
-
-// quantile returns the p-quantile (0 <= p <= 1) of the live window by
-// nearest-rank over a sorted copy; 0 when empty. Sorting at scrape time
-// keeps the record path O(1).
-func (r *ring) quantile(p float64, scratch []float64) float64 {
-	if r.n == 0 {
-		return 0
-	}
-	s := append(scratch[:0], r.buf[:r.n]...)
-	sort.Float64s(s)
-	idx := int(p * float64(len(s)-1))
-	return s[idx]
-}
-
-// metrics is the server's counter registry. Everything is guarded by one
-// mutex — the critical sections are a few map operations, invisible next
-// to a rasterization or a CNN forward pass.
+// metrics adapts the server's instrumentation points onto an obs.Registry.
+// Each server owns a private registry (tests boot several servers in one
+// process), with the stage metric renamed to serve_stage_seconds so the
+// scrape keeps the series names the service has always exposed. The
+// sliding-window quantile summaries replace the serve-private ring buffers
+// the package used before internal/obs existed — and fix their truncation
+// quantile bias (obs.Summary uses ceiling nearest-rank).
 type metrics struct {
-	mu         sync.Mutex
-	requests   map[string]map[int]int64 // endpoint → HTTP status → count
-	cacheHits  int64
-	cacheMiss  int64
-	batchSizes map[int]int64 // flushed batch size → count
-	stages     map[string]*ring
-	stageCount map[string]int64 // total observations per stage (window-independent)
-	scratch    []float64        // quantile sort buffer, reused under mu
+	reg      *obs.Registry
+	hits     *obs.Counter
+	misses   *obs.Counter
+	batches  *obs.IntHist
+	cacheLen func() int
 }
 
-func newMetrics() *metrics {
+func newMetrics(cacheLen func() int) *metrics {
+	reg := obs.NewRegistry()
+	reg.SetStageMetric("serve_stage_seconds")
 	m := &metrics{
-		requests:   make(map[string]map[int]int64),
-		batchSizes: make(map[int]int64),
-		stages:     make(map[string]*ring),
-		stageCount: make(map[string]int64),
-		scratch:    make([]float64, 0, windowSize),
+		reg:      reg,
+		hits:     reg.Counter("serve_cache_hits_total"),
+		misses:   reg.Counter("serve_cache_misses_total"),
+		batches:  reg.IntHist("serve_batch_size_total", "size"),
+		cacheLen: cacheLen,
 	}
-	for _, s := range []string{stageExtract, stageInfer, stageBatch, stageRequest} {
-		m.stages[s] = newRing()
+	reg.GaugeFunc("serve_cache_hit_rate", 6, func() float64 {
+		return hitRate(m.hits.Value(), m.misses.Value())
+	})
+	reg.GaugeFunc("serve_cache_entries", -1, func() float64 {
+		return float64(cacheLen())
+	})
+	// Pre-create the stage series so every scrape lists the full stage
+	// taxonomy, observed or not (as the old fixed ring set did).
+	for _, s := range []string{stageExtract, stageInfer, stageBatch, stageQueue, stageRequest} {
+		reg.Stage(s)
 	}
 	return m
 }
 
-func (m *metrics) request(endpoint string, status int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	byStatus, ok := m.requests[endpoint]
-	if !ok {
-		byStatus = make(map[int]int64)
-		m.requests[endpoint] = byStatus
+func hitRate(hits, misses int64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
 	}
-	byStatus[status]++
+	return float64(hits) / float64(total)
+}
+
+func (m *metrics) request(endpoint string, status int) {
+	m.reg.Counter("serve_requests_total",
+		obs.L("endpoint", endpoint), obs.L("status", strconv.Itoa(status))).Inc()
 }
 
 func (m *metrics) cache(hit bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if hit {
-		m.cacheHits++
+		m.hits.Inc()
 	} else {
-		m.cacheMiss++
+		m.misses.Inc()
 	}
 }
 
-func (m *metrics) batch(size int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.batchSizes[size]++
-}
+func (m *metrics) batch(size int) { m.batches.Observe(size) }
 
 func (m *metrics) stage(name string, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stages[name].record(d.Seconds())
-	m.stageCount[name]++
+	m.reg.Stage(name).ObserveDuration(d)
 }
 
 // StageStats summarizes one pipeline stage's latency.
@@ -122,13 +91,13 @@ type StageStats struct {
 	// Count is the total number of observations since startup.
 	Count int64
 	// P50 and P99 are quantiles in seconds over the most recent
-	// observations (a sliding window of windowSize samples).
+	// observations (a sliding window of obs.DefaultWindow samples).
 	P50, P99 float64
 }
 
 // MetricsSnapshot is a point-in-time copy of every counter, exposed for
 // tests and programmatic scraping. The /metrics endpoint renders the same
-// data as text.
+// registry as text.
 type MetricsSnapshot struct {
 	// Requests counts finished HTTP requests by endpoint and status code.
 	Requests map[string]map[int]int64
@@ -138,90 +107,38 @@ type MetricsSnapshot struct {
 	CacheLen int
 	// BatchSizes histograms flushed micro-batches by exact size.
 	BatchSizes map[int]int64
-	// Stages maps stage name (extract, infer, batch, request) to latency
-	// stats.
+	// Stages maps stage name (extract, infer, batch, queue, request) to
+	// latency stats.
 	Stages map[string]StageStats
 }
 
 // HitRate returns the cache hit fraction (0 when no lookups happened).
-func (s MetricsSnapshot) HitRate() float64 {
-	total := s.CacheHits + s.CacheMisses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.CacheHits) / float64(total)
-}
+func (s MetricsSnapshot) HitRate() float64 { return hitRate(s.CacheHits, s.CacheMisses) }
 
-func (m *metrics) snapshot(cacheLen int) MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+func (m *metrics) snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		Requests:    make(map[string]map[int]int64, len(m.requests)),
-		CacheHits:   m.cacheHits,
-		CacheMisses: m.cacheMiss,
-		CacheLen:    cacheLen,
-		BatchSizes:  make(map[int]int64, len(m.batchSizes)),
-		Stages:      make(map[string]StageStats, len(m.stages)),
+		Requests:    make(map[string]map[int]int64),
+		CacheHits:   m.hits.Value(),
+		CacheMisses: m.misses.Value(),
+		CacheLen:    m.cacheLen(),
+		BatchSizes:  m.batches.Counts(),
+		Stages:      make(map[string]StageStats),
 	}
-	for ep, byStatus := range m.requests {
-		cp := make(map[int]int64, len(byStatus))
-		for code, n := range byStatus {
-			cp[code] = n
+	for _, s := range m.reg.Snapshot("serve_requests_total") {
+		code, err := strconv.Atoi(s.Label("status"))
+		if err != nil {
+			continue
 		}
-		snap.Requests[ep] = cp
-	}
-	for size, n := range m.batchSizes {
-		snap.BatchSizes[size] = n
-	}
-	for name, r := range m.stages {
-		snap.Stages[name] = StageStats{
-			Count: m.stageCount[name],
-			P50:   r.quantile(0.50, m.scratch),
-			P99:   r.quantile(0.99, m.scratch),
+		ep := s.Label("endpoint")
+		byStatus, ok := snap.Requests[ep]
+		if !ok {
+			byStatus = make(map[int]int64)
+			snap.Requests[ep] = byStatus
 		}
+		byStatus[code] = int64(s.Value)
+	}
+	for _, s := range m.reg.Snapshot("serve_stage_seconds") {
+		snap.Stages[s.Label("stage")] = StageStats{Count: s.Count, P50: s.P50, P99: s.P99}
 	}
 	return snap
-}
-
-// renderText writes the snapshot in a flat, Prometheus-flavoured text
-// form. Map keys are emitted in sorted order so scrapes are deterministic.
-func (s MetricsSnapshot) renderText(b *strings.Builder) {
-	endpoints := make([]string, 0, len(s.Requests))
-	for ep := range s.Requests {
-		endpoints = append(endpoints, ep)
-	}
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		codes := make([]int, 0, len(s.Requests[ep]))
-		for code := range s.Requests[ep] {
-			codes = append(codes, code)
-		}
-		sort.Ints(codes)
-		for _, code := range codes {
-			fmt.Fprintf(b, "serve_requests_total{endpoint=%q,status=\"%d\"} %d\n", ep, code, s.Requests[ep][code])
-		}
-	}
-	fmt.Fprintf(b, "serve_cache_hits_total %d\n", s.CacheHits)
-	fmt.Fprintf(b, "serve_cache_misses_total %d\n", s.CacheMisses)
-	fmt.Fprintf(b, "serve_cache_hit_rate %.6f\n", s.HitRate())
-	fmt.Fprintf(b, "serve_cache_entries %d\n", s.CacheLen)
-	sizes := make([]int, 0, len(s.BatchSizes))
-	for size := range s.BatchSizes {
-		sizes = append(sizes, size)
-	}
-	sort.Ints(sizes)
-	for _, size := range sizes {
-		fmt.Fprintf(b, "serve_batch_size_total{size=\"%d\"} %d\n", size, s.BatchSizes[size])
-	}
-	stages := make([]string, 0, len(s.Stages))
-	for name := range s.Stages {
-		stages = append(stages, name)
-	}
-	sort.Strings(stages)
-	for _, name := range stages {
-		st := s.Stages[name]
-		fmt.Fprintf(b, "serve_stage_seconds_count{stage=%q} %d\n", name, st.Count)
-		fmt.Fprintf(b, "serve_stage_seconds{stage=%q,q=\"p50\"} %.9f\n", name, st.P50)
-		fmt.Fprintf(b, "serve_stage_seconds{stage=%q,q=\"p99\"} %.9f\n", name, st.P99)
-	}
 }

@@ -27,13 +27,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hotspot/internal/feature"
 	"hotspot/internal/geom"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/train"
@@ -133,10 +133,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   newClipCache(cfg.CacheSize),
-		metrics: newMetrics(),
+		cfg:   cfg,
+		cache: newClipCache(cfg.CacheSize),
 	}
+	s.metrics = newMetrics(s.cache.len)
 	s.batcher = newBatcher(s, cfg.QueueSize, cfg.MaxBatch, cfg.MaxWait, parallel.New(cfg.Workers))
 	s.batcher.start()
 	mux := http.NewServeMux()
@@ -162,7 +162,11 @@ func (s *Server) Close() {
 }
 
 // Metrics returns a point-in-time snapshot of the service counters.
-func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(s.cache.len()) }
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
+
+// Registry returns the server's metrics registry (each server owns a
+// private one), for debug endpoints and programmatic scrapes.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // CenteredCore returns the side×side core window centered in frame (the
 // default scoring window when a request names no explicit core).
@@ -333,7 +337,7 @@ func statusOf(err error) int {
 // --- handlers ---
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	var cr ClipRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&cr); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
@@ -351,12 +355,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 		return
 	}
-	s.metrics.stage(stageRequest, time.Since(start))
+	s.metrics.stage(stageRequest, watch.Elapsed())
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	watch := obs.NewStopwatch()
 	var br BatchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&br); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
@@ -417,7 +421,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.metrics.stage(stageRequest, time.Since(start))
+	s.metrics.stage(stageRequest, watch.Elapsed())
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
@@ -441,10 +445,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	var b strings.Builder
-	s.Metrics().renderText(&b)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = io.WriteString(w, b.String())
+	_ = s.metrics.reg.WriteText(w)
 }
 
 // reloadRequest is the /admin/reload body; an empty path re-reads the

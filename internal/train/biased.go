@@ -26,6 +26,10 @@ type BiasedConfig struct {
 	// unconditionally, matching Theorem 1's direction). When false the
 	// final round's model is returned, exactly as Algorithm 2 lists.
 	KeepBest bool
+	// OnEpoch, when set, receives every round's per-epoch telemetry tagged
+	// with the round index and its bias ε. Observation only, like
+	// MGDConfig.OnEpoch (which this overrides for the inner MGD runs).
+	OnEpoch func(round int, eps float64, e EpochEvent)
 }
 
 // Validate checks the configuration.
@@ -76,6 +80,10 @@ func BiasedLearning(net *nn.Network, trainSet, valSet []Sample, cfg BiasedConfig
 			mcfg.Seed = cfg.FineTune.Seed + int64(round)
 		}
 		mcfg.Eps = eps
+		if cfg.OnEpoch != nil {
+			round, eps := round, eps
+			mcfg.OnEpoch = func(e EpochEvent) { cfg.OnEpoch(round, eps, e) }
+		}
 		hist, err := MGD(net, trainSet, valSet, mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("train: biased round %d (ε=%.2f): %w", round, eps, err)

@@ -1,0 +1,117 @@
+package train
+
+import (
+	"testing"
+)
+
+// TestMGDInstrumentationParity is the observability acceptance test: an
+// MGD run with OnEpoch telemetry attached produces weights and history
+// bit-identical to a plain run. Instrumentation (stage timers, epoch
+// events) must be a pure observer of the training loop.
+func TestMGDInstrumentationParity(t *testing.T) {
+	samples := imbalancedToy(80, 41)
+	trainSet, valSet, err := Split(samples, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.MaxIters = 40
+	cfg.ValEvery = 10
+	cfg.Workers = 2
+
+	plain := dropoutNet(t, 43)
+	histPlain, err := MGD(plain, trainSet, valSet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := dropoutNet(t, 43)
+	var events []EpochEvent
+	cfgI := cfg
+	cfgI.OnEpoch = func(e EpochEvent) { events = append(events, e) }
+	histInst, err := MGD(instrumented, trainSet, valSet, cfgI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pp, ip := plain.Params(), instrumented.Params()
+	for i := range pp {
+		pd, id := pp[i].W.Data(), ip[i].W.Data()
+		for j := range pd {
+			if pd[j] != id[j] {
+				t.Fatalf("param %s[%d]: plain %v, instrumented %v — telemetry changed the model",
+					pp[i].Name, j, pd[j], id[j])
+			}
+		}
+	}
+
+	if len(events) != len(histInst) {
+		t.Fatalf("got %d epoch events for %d checkpoints", len(events), len(histInst))
+	}
+	if len(histPlain) != len(histInst) {
+		t.Fatalf("history lengths differ: plain %d, instrumented %d", len(histPlain), len(histInst))
+	}
+	for i := range histInst {
+		if histPlain[i].ValAccuracy != histInst[i].ValAccuracy ||
+			histPlain[i].TrainLoss != histInst[i].TrainLoss ||
+			histPlain[i].ValFA != histInst[i].ValFA {
+			t.Fatalf("checkpoint %d differs: plain %+v, instrumented %+v",
+				i, histPlain[i], histInst[i])
+		}
+		e := events[i]
+		if e.Iter != histInst[i].Iter || e.ValAccuracy != histInst[i].ValAccuracy {
+			t.Fatalf("event %d does not mirror its checkpoint: %+v vs %+v", i, e, histInst[i])
+		}
+		if e.LearningRate <= 0 {
+			t.Fatalf("event %d carries no learning rate: %+v", i, e)
+		}
+		if e.StepP50 < 0 || e.StepP99 < e.StepP50 {
+			t.Fatalf("event %d step latency quantiles inconsistent: p50=%v p99=%v", i, e.StepP50, e.StepP99)
+		}
+	}
+}
+
+// TestBiasedLearningOnEpoch checks the round/ε tagging of the biased-loop
+// telemetry wrapper.
+func TestBiasedLearningOnEpoch(t *testing.T) {
+	samples := imbalancedToy(60, 47)
+	trainSet, valSet, err := Split(samples, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := quickCfg()
+	inner.MaxIters = 20
+	inner.ValEvery = 10
+	cfg := BiasedConfig{
+		InitialEps: 0,
+		DeltaEps:   0.1,
+		Rounds:     2,
+		Initial:    inner,
+		FineTune:   inner,
+	}
+	type tagged struct {
+		round int
+		eps   float64
+	}
+	var got []tagged
+	cfg.OnEpoch = func(round int, eps float64, e EpochEvent) {
+		got = append(got, tagged{round: round, eps: eps})
+		if e.Iter == 0 {
+			t.Errorf("round %d event has zero iter", round)
+		}
+	}
+	net := dropoutNet(t, 53)
+	if _, err := BiasedLearning(net, trainSet, valSet, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// 2 rounds × (20 iters / ValEvery 10) = 4 events: rounds 0,0,1,1.
+	want := []tagged{{0, 0}, {0, 0}, {1, 0.1}, {1, 0.1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d tagged %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hotspot/internal/nn"
+	"hotspot/internal/obs"
 	"hotspot/internal/parallel"
 	"hotspot/internal/tensor"
 )
@@ -95,6 +96,12 @@ type MGDConfig struct {
 	// reduction order are all functions of (Seed, iteration, batch
 	// position), never of worker assignment.
 	Workers int
+	// OnEpoch, when set, is invoked on the training goroutine after each
+	// validation checkpoint with that epoch's telemetry. Observation only:
+	// the callback runs after the checkpoint is recorded, receives copies,
+	// and its presence cannot change the trained weights (the parity test
+	// TestMGDInstrumentationParity holds MGD to that).
+	OnEpoch func(EpochEvent)
 }
 
 // Validate checks the configuration.
@@ -135,6 +142,18 @@ type Checkpoint struct {
 
 // History is the sequence of validation checkpoints of one run.
 type History []Checkpoint
+
+// EpochEvent is the telemetry handed to MGDConfig.OnEpoch at each
+// validation checkpoint: the checkpoint itself plus the optimizer and
+// latency state a dashboard wants alongside it.
+type EpochEvent struct {
+	Checkpoint
+	// LearningRate is the decayed rate in effect at the checkpoint.
+	LearningRate float64
+	// StepP50 and StepP99 are per-iteration latencies in seconds over the
+	// recent window of the "train/step" stage.
+	StepP50, StepP99 float64
+}
 
 // sampleSeed derives the dropout seed for one training sample from the run
 // seed and the sample's global position counter ((iter−1)·BatchSize + b).
@@ -273,7 +292,12 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 	}
 
 	lr := cfg.LearningRate
-	start := time.Now()
+	// Timing is observation only: stage summaries and the run stopwatch
+	// are write-only sinks here; nothing the optimizer computes reads them.
+	watch := obs.NewStopwatch()
+	stepStage := obs.Default().Stage("train/step")
+	epochStage := obs.Default().Stage("train/epoch")
+	epochWatch := obs.NewStopwatch()
 	var hist History
 	bestAcc := -1.0
 	var best *nn.Network
@@ -281,6 +305,7 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 	lossAccum, lossCount := 0.0, 0
 
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		stepWatch := obs.NewStopwatch()
 		// Draw the whole batch up front. The rand call sequence is exactly
 		// the legacy serial one, so sampling is identical under any worker
 		// count (and to earlier versions of this code).
@@ -344,6 +369,7 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 		if iter%cfg.DecayStep == 0 {
 			lr *= cfg.DecayFactor
 		}
+		stepStage.ObserveDuration(stepWatch.Elapsed())
 
 		if cfg.ValEvery > 0 && iter%cfg.ValEvery == 0 {
 			var m Metrics
@@ -358,7 +384,7 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 			}
 			cp := Checkpoint{
 				Iter:        iter,
-				Elapsed:     time.Since(start),
+				Elapsed:     watch.Elapsed(),
 				ValAccuracy: m.Accuracy,
 				ValRecall:   m.Recall,
 				ValFA:       m.FalseAlarms,
@@ -366,6 +392,16 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 			}
 			lossAccum, lossCount = 0, 0
 			hist = append(hist, cp)
+			epochStage.ObserveDuration(epochWatch.Elapsed())
+			epochWatch = obs.NewStopwatch()
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(EpochEvent{
+					Checkpoint:   cp,
+					LearningRate: lr,
+					StepP50:      stepStage.Quantile(0.50),
+					StepP99:      stepStage.Quantile(0.99),
+				})
+			}
 			if m.Accuracy > bestAcc {
 				bestAcc = m.Accuracy
 				sinceBest = 0

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # check.sh — the repo's standing check gate.
 #
-# Runs the four legs every change must pass before merging:
+# Runs the legs every change must pass before merging:
 #   1. go build ./...        the tree compiles
 #   2. go vet ./...          stock toolchain analysis
 #   3. hsd-vet ./...         project contracts: determinism, numerics,
-#                            concurrency, errors, hot-path allocation
+#                            concurrency, errors, hot-path allocation,
+#                            observability clock policy
 #                            (see DESIGN.md "Determinism & numerics rules")
 #   4. go test -race ./...   unit + parity tests under the race detector
 #   5. scripts/smoke         hsd-serve end-to-end smoke: boot on an
 #                            ephemeral port, predict, healthz, metrics,
-#                            SIGINT drain, zero exit
+#                            -pprof debug surface, SIGINT drain, zero exit
+#   6. scripts/trainsmoke    hsd-train observability smoke: tiny suite,
+#                            -telemetry JSONL (manifest/epoch/result) and
+#                            -metrics-out stage summaries parse and assert
 #
 # Usage: scripts/check.sh [-short]
 #   -short   pass -short to go test (skips the slow experiment suites)
@@ -36,5 +40,8 @@ go test -race ${short} ./...
 
 echo "==> hsd-serve smoke"
 go run ./scripts/smoke
+
+echo "==> hsd-train smoke"
+go run ./scripts/trainsmoke
 
 echo "check gate: all legs green"

@@ -1,8 +1,8 @@
 // Command smoke is the hsd-serve end-to-end smoke: it builds the server
 // binary, boots it on an ephemeral port with a random-weight network,
-// exercises the public surface (predict, healthz, metrics), then sends
-// SIGINT and verifies a clean drain and zero exit. scripts/check.sh runs
-// it as the serving leg of the gate.
+// exercises the public surface (predict, healthz, metrics, the debug
+// surface gated by -pprof), then sends SIGINT and verifies a clean drain
+// and zero exit. scripts/check.sh runs it as the serving leg of the gate.
 //
 // It is deliberately a Go program rather than shell: the checks (JSON
 // shape, probability range, metrics counters, exit status) are exact,
@@ -32,7 +32,83 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("smoke: hsd-serve predict/healthz/metrics/shutdown OK")
+	fmt.Println("smoke: hsd-serve predict/healthz/metrics/pprof/shutdown OK")
+}
+
+// server is one booted hsd-serve process with its stdout scanner.
+type server struct {
+	cmd   *exec.Cmd
+	out   *bufio.Scanner
+	base  string
+	guard *time.Timer
+}
+
+// boot starts the binary with the given extra flags and waits for the
+// listen banner. The kill guard shoots the process after killAfter so a
+// wedged server fails the gate instead of hanging it.
+func boot(bin string, extra ...string) (*server, error) {
+	args := append([]string{
+		"-untrained", "-addr", "127.0.0.1:0",
+		"-max-batch", "8", "-max-wait", "2ms", "-workers", "2",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	guard := time.AfterFunc(killAfter, func() { _ = cmd.Process.Kill() })
+	out := bufio.NewScanner(stdout)
+	addr := ""
+	for out.Scan() {
+		line := out.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "hsd-serve: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		guard.Stop()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("server never printed its listen address (scan err: %v)", out.Err())
+	}
+	return &server{cmd: cmd, out: out, base: "http://" + addr, guard: guard}, nil
+}
+
+// kill hard-stops the server after a failed step.
+func (s *server) kill() {
+	s.guard.Stop()
+	_ = s.cmd.Process.Kill()
+	_ = s.cmd.Wait()
+}
+
+// shutdown sends SIGINT and verifies the drain banner and a zero exit.
+func (s *server) shutdown() error {
+	defer s.guard.Stop()
+	if err := s.cmd.Process.Signal(os.Interrupt); err != nil {
+		s.kill()
+		return fmt.Errorf("interrupt: %w", err)
+	}
+	drained := false
+	for s.out.Scan() {
+		line := s.out.Text()
+		fmt.Println(line)
+		if strings.Contains(line, "drained, bye") {
+			drained = true
+		}
+	}
+	if err := s.cmd.Wait(); err != nil {
+		return fmt.Errorf("server exit: %w", err)
+	}
+	if !drained {
+		return fmt.Errorf("server exited without the drain banner")
+	}
+	return nil
 }
 
 func run() error {
@@ -49,42 +125,22 @@ func run() error {
 		return fmt.Errorf("build hsd-serve: %w", err)
 	}
 
-	cmd := exec.Command(bin,
-		"-untrained", "-addr", "127.0.0.1:0",
-		"-max-batch", "8", "-max-wait", "2ms", "-workers", "2")
-	cmd.Stderr = os.Stderr
-	stdout, err := cmd.StdoutPipe()
+	if err := publicSurface(bin); err != nil {
+		return err
+	}
+	return debugSurface(bin)
+}
+
+// publicSurface boots without -pprof and checks predict, healthz, the
+// metrics exposition (including the obs-registry series behind it), and
+// that the debug endpoints are dark by default.
+func publicSurface(bin string) error {
+	srv, err := boot(bin)
 	if err != nil {
 		return err
 	}
-	if err := cmd.Start(); err != nil {
-		return err
-	}
-	// Kill guard: if anything below wedges, the server is shot after
-	// killAfter so the gate fails instead of hanging.
-	guard := time.AfterFunc(killAfter, func() { _ = cmd.Process.Kill() })
-	defer guard.Stop()
-
-	out := bufio.NewScanner(stdout)
-	addr := ""
-	for out.Scan() {
-		line := out.Text()
-		fmt.Println(line)
-		if rest, ok := strings.CutPrefix(line, "hsd-serve: listening on "); ok {
-			addr = rest
-			break
-		}
-	}
-	if addr == "" {
-		_ = cmd.Process.Kill()
-		_ = cmd.Wait()
-		return fmt.Errorf("server never printed its listen address (scan err: %v)", out.Err())
-	}
-	base := "http://" + addr
-
 	fail := func(step string, err error) error {
-		_ = cmd.Process.Kill()
-		_ = cmd.Wait()
+		srv.kill()
 		return fmt.Errorf("%s: %w", step, err)
 	}
 
@@ -93,7 +149,7 @@ func run() error {
 	body := []byte(`{"frame":{"x0":0,"y0":0,"x1":1200,"y1":1200},` +
 		`"rects":[{"x0":500,"y0":0,"x1":560,"y1":1200}]}`)
 	for i := 0; i < 2; i++ {
-		prob, err := postPredict(base, body)
+		prob, err := postPredict(srv.base, body)
 		if err != nil {
 			return fail("predict", err)
 		}
@@ -102,7 +158,7 @@ func run() error {
 		}
 	}
 
-	health, err := get(base + "/healthz")
+	health, err := get(srv.base + "/healthz")
 	if err != nil {
 		return fail("healthz", err)
 	}
@@ -110,39 +166,70 @@ func run() error {
 		return fail("healthz", fmt.Errorf("body %q", health))
 	}
 
-	metrics, err := get(base + "/metrics")
+	metrics, err := get(srv.base + "/metrics")
 	if err != nil {
 		return fail("metrics", err)
 	}
 	for _, want := range []string{
 		`serve_requests_total{endpoint="predict",status="200"} 2`,
 		"serve_cache_hits_total 1",
+		"serve_cache_entries 1",
+		"serve_cache_hit_rate",
 		"serve_batch_size_total",
-		"serve_stage_seconds",
+		`serve_stage_seconds_count{stage="extract"}`,
+		`serve_stage_seconds_count{stage="queue"}`,
+		`serve_stage_seconds{stage="infer",q="p99"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			return fail("metrics", fmt.Errorf("missing %q in:\n%s", want, metrics))
 		}
 	}
 
-	if err := cmd.Process.Signal(os.Interrupt); err != nil {
-		return fail("interrupt", err)
-	}
-	drained := false
-	for out.Scan() {
-		line := out.Text()
-		fmt.Println(line)
-		if strings.Contains(line, "drained, bye") {
-			drained = true
+	// Without -pprof the debug surface must not exist.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/obs"} {
+		code, err := getStatus(srv.base + path)
+		if err != nil {
+			return fail("debug-off", err)
+		}
+		if code != http.StatusNotFound {
+			return fail("debug-off", fmt.Errorf("%s: status %d, want 404", path, code))
 		}
 	}
-	if err := cmd.Wait(); err != nil {
-		return fmt.Errorf("server exit: %w", err)
+
+	return srv.shutdown()
+}
+
+// debugSurface boots with -pprof and checks the profiling and registry
+// dump endpoints actually serve.
+func debugSurface(bin string) error {
+	srv, err := boot(bin, "-pprof")
+	if err != nil {
+		return err
 	}
-	if !drained {
-		return fmt.Errorf("server exited without the drain banner")
+	fail := func(step string, err error) error {
+		srv.kill()
+		return fmt.Errorf("%s: %w", step, err)
 	}
-	return nil
+
+	cmdline, err := get(srv.base + "/debug/pprof/cmdline")
+	if err != nil {
+		return fail("pprof-cmdline", err)
+	}
+	if len(cmdline) == 0 {
+		return fail("pprof-cmdline", fmt.Errorf("empty body"))
+	}
+
+	obsDump, err := get(srv.base + "/debug/obs")
+	if err != nil {
+		return fail("debug-obs", err)
+	}
+	for _, want := range []string{"# server registry", "# process registry"} {
+		if !strings.Contains(obsDump, want) {
+			return fail("debug-obs", fmt.Errorf("missing %q in:\n%s", want, obsDump))
+		}
+	}
+
+	return srv.shutdown()
 }
 
 func postPredict(base string, body []byte) (float64, error) {
@@ -185,4 +272,15 @@ func get(url string) (string, error) {
 		return "", fmt.Errorf("status %d: %s", resp.StatusCode, raw)
 	}
 	return string(raw), nil
+}
+
+// getStatus fetches a URL and returns only the status code.
+func getStatus(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
 }
