@@ -23,13 +23,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, all")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, infer, all")
 		scale   = flag.Float64("scale", 0.008, "fraction of the paper's sample counts")
 		seed    = flag.Int64("seed", 1, "generation/training seed")
 		iters   = flag.Int("iters", 800, "initial-round MGD iterations")
 		cache   = flag.String("cache", "", "suite cache directory (strongly recommended)")
 		benchs  = flag.String("benchmarks", "", "comma-separated Table 2 benchmarks (default: all four)")
 		workers = flag.Int("workers", 0, "worker goroutines for generation, training and evaluation (0 = GOMAXPROCS); results are identical for any value")
+
+		inferOut  = flag.String("infer-out", "BENCH_infer.json", "JSON report path for -exp infer")
+		inferReps = flag.Int("infer-reps", 0, "fixed repetitions per -exp infer measurement (0 = auto-calibrate; small fixed values make a fast CI smoke run)")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
@@ -77,6 +80,10 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(s)
+		case "infer":
+			if err := runInfer(*inferOut, *inferReps); err != nil {
+				log.Fatal(err)
+			}
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}

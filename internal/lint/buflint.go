@@ -25,8 +25,11 @@ var Buflint = &Analyzer{
 }
 
 // hotPackages are the packages whose Forward/Backward methods sit on the
-// per-sample training path.
-var hotPackages = map[string]bool{"nn": true, "tensor": true, "train": true}
+// per-sample training or inference path. fused is the compiled inference
+// engine, whose whole point is a zero-allocation Forward: all buffers are
+// planned into the compile-time arena, so any make in its Forward is a
+// regression.
+var hotPackages = map[string]bool{"nn": true, "tensor": true, "train": true, "fused": true}
 
 func isHotFunc(name string) bool {
 	switch name {

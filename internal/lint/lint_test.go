@@ -30,6 +30,7 @@ func TestErrlint(t *testing.T) {
 func TestBuflint(t *testing.T) {
 	linttest.Run(t, lint.Buflint,
 		"./testdata/src/buflint/nn",
+		"./testdata/src/buflint/fused",
 		"./testdata/src/buflint/other")
 }
 

@@ -1,0 +1,40 @@
+// Package fused is the buflint fixture for the compiled inference engine:
+// its Forward must execute entirely out of the compile-time arena, so an
+// unguarded float-slice make there is flagged just like in nn/tensor/train,
+// while compile-time planning allocates freely.
+package fused
+
+type engine struct {
+	arena []float64
+	out   []float64
+}
+
+// --- true positives -----------------------------------------------------
+
+func (e *engine) Forward(x []float64) []float64 {
+	scratch := make([]float64, len(x)) // want "per-call make of a float slice in hot path fused.Forward"
+	copy(scratch, x)
+	return scratch
+}
+
+// --- true negatives -----------------------------------------------------
+
+type planned struct {
+	arena []float64
+}
+
+// Forward growing the arena behind a cap guard is the amortized idiom and
+// stays legal (the real engine never even needs it — the plan is exact).
+func (p *planned) Forward(x []float64) []float64 {
+	if cap(p.arena) < len(x) {
+		p.arena = make([]float64, len(x))
+	}
+	p.arena = p.arena[:len(x)]
+	copy(p.arena, x)
+	return p.arena
+}
+
+// compile is cold: arena planning is exactly where allocation belongs.
+func compile(n int) *engine {
+	return &engine{arena: make([]float64, n)}
+}

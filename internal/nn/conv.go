@@ -48,6 +48,18 @@ func (c *Conv2D) Name() string { return c.name }
 // Params implements Layer.
 func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
 
+// Geometry returns the layer's hyper-parameters: input and output channel
+// counts, (square) kernel size, stride and zero padding. The fused
+// inference engine compiles its plan from these.
+func (c *Conv2D) Geometry() (inC, outC, k, stride, pad int) {
+	return c.inC, c.outC, c.kh, c.stride, c.pad
+}
+
+// Weights returns the weight matrix (outC, inC·k·k) and bias vector
+// (outC). Both alias the live parameter storage, so callers holding them
+// observe optimizer updates and weight syncs without re-fetching.
+func (c *Conv2D) Weights() (w, b *tensor.Tensor) { return c.weight.W, c.bias.W }
+
 // OutputShape implements Layer.
 func (c *Conv2D) OutputShape(in []int) ([]int, error) {
 	if len(in) != 3 || in[0] != c.inC {
@@ -90,16 +102,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if err := tensor.Im2ColInto(c.cols, x, c.kh, c.kw, c.stride, c.pad); err != nil {
 		return nil, err
 	}
-	if err := tensor.MatMulInto(c.out, c.weight.W, c.cols); err != nil {
+	// Bias rides the matmul's per-row epilogue instead of a second pass
+	// over the output; values are bit-identical to the two-pass form.
+	if err := tensor.MatMulBiasInto(c.out, c.weight.W, c.cols, c.bias.W); err != nil {
 		return nil, err
-	}
-	data := c.out.Data()
-	for oc := 0; oc < c.outC; oc++ {
-		b := c.bias.W.At(oc)
-		row := data[oc*oh*ow : (oc+1)*oh*ow]
-		for i := range row {
-			row[i] += b
-		}
 	}
 	return c.out.Reshape(c.outC, oh, ow)
 }

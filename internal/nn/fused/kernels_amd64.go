@@ -1,0 +1,27 @@
+package fused
+
+// useAVX2 gates the assembly conv-row kernel. The probe checks CPUID for
+// AVX2 and XGETBV for OS-enabled YMM state, so the binary stays correct on
+// any amd64 machine; non-AVX2 hosts take the same pure-Go blocked kernels
+// as other architectures.
+var useAVX2 = cpuHasAVX2()
+
+// convRowAVX2 computes columns [0, nv) of one conv output row d over the
+// im2col matrix b ((k, n) row-major) with coefficients a (length k),
+// including the +bias epilogue and, when relu != 0, the strict v > 0
+// rectifier. nv must be a multiple of 4 and at most n.
+//
+// Each YMM lane is one output column, and every lane executes the layered
+// kernel's exact scalar operation sequence: 4-wide coefficient groups
+// summed left-associatively with separate multiply and add instructions
+// (no FMA contraction), singles for the k remainder, bias after the full
+// dot. Lanes never interact, so vectorizing across columns cannot change
+// any per-element result — the output is bit-identical to row1 plus
+// biasReLURow.
+//
+//go:noescape
+func convRowAVX2(d, a, b *float64, k, nv, n int, bias float64, relu int64)
+
+// cpuHasAVX2 reports AVX2 support with OS-enabled YMM state (CPUID +
+// XGETBV; implemented in kernels_amd64.s).
+func cpuHasAVX2() bool

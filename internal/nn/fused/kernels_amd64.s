@@ -1,0 +1,122 @@
+// AVX2 conv-row kernel and CPU feature detection for the fused inference
+// engine. See kernels_amd64.go for the calling contract and the
+// bit-for-bit parity argument; the short version is that vector lanes are
+// independent output columns, every lane executes the exact scalar
+// operation sequence of the layered kernel (separate VMULPD/VADDPD — no
+// FMA contraction, which would change results), and the rectifier is a
+// GT_OQ compare-and-mask so NaN and -0 behave exactly like Go's v > 0.
+
+#include "textflag.h"
+
+// func convRowAVX2(d, a, b *float64, k, nv, n int, bias float64, relu int64)
+//
+// For each output column j in [0, nv), nv % 4 == 0:
+//
+//	s = 0
+//	for p in 4-wide groups:   s += a[p]·b[p·n+j] + a[p+1]·b[(p+1)·n+j] + a[p+2]·b[(p+2)·n+j] + a[p+3]·b[(p+3)·n+j]
+//	for remaining p:          s += a[p]·b[p·n+j]
+//	s += bias
+//	if relu != 0:             s = s > 0 ? s : +0
+//	d[j] = s
+TEXT ·convRowAVX2(SB), NOSPLIT, $0-64
+	MOVQ d+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ k+24(FP), R8
+	MOVQ nv+32(FP), R9
+	MOVQ n+40(FP), R10
+	MOVQ relu+56(FP), R11
+
+	VBROADCASTSD bias+48(FP), Y14
+	VXORPD Y15, Y15, Y15     // +0.0 lanes for the rectifier compare
+	SHLQ $3, R10             // R10 = n*8, the byte stride between b rows
+	MOVQ R8, R12
+	ANDQ $-4, R12            // R12 = k &^ 3, the 4-wide group limit
+	XORQ CX, CX              // j (element index)
+
+loopj:
+	CMPQ CX, R9
+	JGE  done
+	LEAQ (DX)(CX*8), BX      // &b[j], advanced by n*8 per p
+	VXORPD Y0, Y0, Y0        // s = 0 (accumulates in-register; the layered
+	XORQ R13, R13            // kernel's 0-then-+= start is 0 + group too)
+
+loopp4:
+	CMPQ R13, R12
+	JGE  tailp
+	VBROADCASTSD (SI)(R13*8), Y1
+	VBROADCASTSD 8(SI)(R13*8), Y2
+	VBROADCASTSD 16(SI)(R13*8), Y3
+	VBROADCASTSD 24(SI)(R13*8), Y4
+	VMULPD (BX), Y1, Y1      // a[p]·b-row lanes
+	ADDQ R10, BX
+	VMULPD (BX), Y2, Y2
+	ADDQ R10, BX
+	VMULPD (BX), Y3, Y3
+	ADDQ R10, BX
+	VMULPD (BX), Y4, Y4
+	ADDQ R10, BX
+	VADDPD Y2, Y1, Y1        // ((m0+m1)+m2)+m3: the Go expression's
+	VADDPD Y3, Y1, Y1        // left-associative grouping, exactly
+	VADDPD Y4, Y1, Y1
+	VADDPD Y1, Y0, Y0        // s += group
+	ADDQ $4, R13
+	JMP  loopp4
+
+tailp:
+	CMPQ R13, R8
+	JGE  epilogue
+	VBROADCASTSD (SI)(R13*8), Y1
+	VMULPD (BX), Y1, Y1
+	ADDQ R10, BX
+	VADDPD Y1, Y0, Y0        // s += a[p]·b[p·n+j]
+	INCQ R13
+	JMP  tailp
+
+epilogue:
+	VADDPD Y14, Y0, Y0       // s += bias (after the full dot, like the
+	TESTQ R11, R11           // layered per-row epilogue)
+	JZ   store
+	VCMPPD $0x1e, Y15, Y0, Y1 // lanes where s > +0 (GT_OQ: NaN -> false)
+	VANDPD Y1, Y0, Y0        // keep those lanes, others become +0
+
+store:
+	VMOVUPD Y0, (DI)(CX*8)
+	ADDQ $4, CX
+	JMP  loopj
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2() bool
+//
+// CPUID/XGETBV probe: OSXSAVE + AVX + OS-enabled YMM state + AVX2.
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVQ $0, AX
+	CPUID
+	CMPQ AX, $7
+	JL   no                  // no leaf 7 -> no AVX2
+	MOVQ $1, AX
+	CPUID
+	MOVL CX, R8
+	TESTL $(1<<27), R8       // OSXSAVE
+	JZ   no
+	TESTL $(1<<28), R8       // AVX
+	JZ   no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX              // XCR0: XMM and YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  no
+	MOVQ $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX        // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

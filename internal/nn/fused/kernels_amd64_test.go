@@ -1,0 +1,54 @@
+package fused
+
+import (
+	"math"
+	"testing"
+)
+
+// TestConvRowAVX2MatchesTail pins the assembly kernel bit-for-bit against
+// the scalar tail loop (which is itself pinned against the layered path by
+// the parity tests) across awkward k and n values, with and without bias
+// and ReLU, including negative products that must rectify to +0.
+func TestConvRowAVX2MatchesTail(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this host")
+	}
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(int64(rng%2000)-1000) / 97.0
+	}
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 144, 150} {
+		for _, n := range []int{4, 8, 12, 36, 144} {
+			a := make([]float64, k)
+			b := make([]float64, k*n)
+			for i := range a {
+				a[i] = next()
+			}
+			for i := range b {
+				b[i] = next()
+			}
+			for _, relu := range []bool{false, true} {
+				bias := next()
+				got := make([]float64, n)
+				want := make([]float64, n)
+				r := int64(0)
+				if relu {
+					r = 1
+				}
+				convRowAVX2(&got[0], &a[0], &b[0], k, n, n, bias, r)
+				convRowTail(want, a, b, 0, n, bias, relu)
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("k=%d n=%d relu=%v j=%d: asm %x (%g) != scalar %x (%g)",
+							k, n, relu, j,
+							math.Float64bits(got[j]), got[j],
+							math.Float64bits(want[j]), want[j])
+					}
+				}
+			}
+		}
+	}
+}

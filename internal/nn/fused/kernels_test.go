@@ -1,0 +1,55 @@
+package fused
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/tensor"
+)
+
+// TestIm2ColStride1MatchesTensor pins the copy-based stride-1 im2col
+// bit-for-bit against tensor.Im2ColInto over assorted geometries,
+// including pads larger than the kernel overhang and tiny inputs.
+func TestIm2ColStride1MatchesTensor(t *testing.T) {
+	cases := []struct {
+		c, h, w, k, pad int
+	}{
+		{1, 1, 1, 1, 0},
+		{1, 3, 3, 3, 1},
+		{2, 5, 7, 3, 1},
+		{3, 12, 12, 3, 1},
+		{4, 6, 6, 5, 2},
+		{2, 4, 4, 3, 3}, // pad wider than the kernel overhang
+		{1, 3, 9, 3, 0},
+		{16, 12, 12, 3, 1}, // Table-1 conv input geometry
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range cases {
+		oh := tc.h + 2*tc.pad - tc.k + 1
+		ow := tc.w + 2*tc.pad - tc.k + 1
+		if oh <= 0 || ow <= 0 {
+			t.Fatalf("bad case %+v", tc)
+		}
+		src := randInput(rng, tc.c, tc.h, tc.w)
+		kk := tc.c * tc.k * tc.k
+		want := make([]float64, kk*oh*ow)
+		wantT, err := tensor.FromSlice(want, kk, oh*ow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tensor.Im2ColInto(wantT, src, tc.k, tc.k, 1, tc.pad); err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		got := make([]float64, kk*oh*ow)
+		for i := range got {
+			got[i] = math.NaN() // catch unwritten slots
+		}
+		im2colStride1(got, src.Data(), tc.c, tc.h, tc.w, tc.k, tc.pad, oh, ow)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("case %+v: cols[%d] = %g, want %g", tc, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -203,6 +203,14 @@ func (d *Dense) Name() string { return d.name }
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
 
+// Dims returns the layer's input and output widths. The fused inference
+// engine compiles its plan from these.
+func (d *Dense) Dims() (in, out int) { return d.in, d.out }
+
+// Weights returns the weight matrix (out, in) and bias vector (out). Both
+// alias the live parameter storage.
+func (d *Dense) Weights() (w, b *tensor.Tensor) { return d.weight.W, d.bias.W }
+
 // OutputShape implements Layer.
 func (d *Dense) OutputShape(in []int) ([]int, error) {
 	n := 1

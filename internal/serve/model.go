@@ -30,6 +30,10 @@ type ModelInfo struct {
 	Generation int `json:"generation"`
 	// Params is the network's parameter count.
 	Params int `json:"params"`
+	// Fused reports whether the model serves through compiled fused
+	// inference engines (bit-identical to the layer stack, but one fused
+	// zero-allocation pass per sample) rather than layer-by-layer.
+	Fused bool `json:"fused"`
 }
 
 // LoadNetwork validates net against the server's feature configuration and
@@ -46,6 +50,11 @@ func (s *Server) LoadNetwork(net *nn.Network, origin string) error {
 	if err != nil {
 		return err
 	}
+	// Compile fused engines for the serving feature shape up front so the
+	// first batch doesn't pay compilation. Networks the engine cannot fuse
+	// are fine — the evaluator keeps its always-correct layered path and
+	// ModelInfo reports Fused: false.
+	_ = ev.EnsureFused([]int{f.K, f.Blocks, f.Blocks})
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	gen := 1
@@ -89,5 +98,10 @@ func (s *Server) Model() (ModelInfo, bool) {
 	if m == nil {
 		return ModelInfo{}, false
 	}
-	return ModelInfo{Origin: m.origin, Generation: m.generation, Params: m.net.ParamCount()}, true
+	return ModelInfo{
+		Origin:     m.origin,
+		Generation: m.generation,
+		Params:     m.net.ParamCount(),
+		Fused:      m.ev.FusedActive(),
+	}, true
 }

@@ -111,6 +111,13 @@ func newTestServer(t testing.TB, cfg serve.Config, netSeed int64) (*serve.Server
 	if err := srv.LoadNetwork(testNet(t, netSeed), "test"); err != nil {
 		t.Fatal(err)
 	}
+	// The parity tests in this file compare served probabilities against
+	// the serial layer-by-layer reference. Guard that the server really is
+	// on the fused engine path, so those comparisons pin fused-vs-layered
+	// parity rather than silently testing layered against itself.
+	if info, ok := srv.Model(); !ok || !info.Fused {
+		t.Fatalf("test server is not serving through fused engines (info %+v, ok %v)", info, ok)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return srv, ts

@@ -54,6 +54,14 @@ func sparseWorthwhile(a []float64) bool {
 	return float64(zeros) > sparseSkipThreshold*float64(len(a))
 }
 
+// SparseSkip reports whether the package's matmul kernels would take the
+// row-skipping sparse path for coefficient data a. It is exported so
+// alternative kernels over the same operands (the fused inference engine)
+// can replicate the gate exactly — the gate is part of the bit-for-bit
+// result contract, because the sparse and dense variants group additions
+// differently.
+func SparseSkip(a []float64) bool { return sparseWorthwhile(a) }
+
 // matmulInto writes a(m×k)·b(k×n) into out using an ikj loop order so the
 // inner loop streams both b and out rows; this is the usual cache-friendly
 // pure-Go kernel. Dense coefficient rows take a 4-way unrolled kernel;
@@ -63,6 +71,16 @@ func sparseWorthwhile(a []float64) bool {
 // pure function of the data — the same operands always take the same path,
 // keeping every caller bit-reproducible.
 func matmulInto(out, a, b []float64, m, k, n int) {
+	matmulBiasInto(out, a, b, nil, m, k, n)
+}
+
+// matmulBiasInto is matmulInto with an optional per-row bias epilogue: when
+// bias is non-nil, bias[i] is added to every element of output row i as
+// soon as the row's dot products complete — while the row is still hot —
+// instead of in a second pass over the whole output. Each element's value
+// is (full dot product) + bias, exactly the sum the two-pass form produces,
+// so results are bit-identical to matmul-then-broadcast.
+func matmulBiasInto(out, a, b, bias []float64, m, k, n int) {
 	for i := range out[:m*n] {
 		out[i] = 0
 	}
@@ -77,6 +95,12 @@ func matmulInto(out, a, b []float64, m, k, n int) {
 				brow := b[p*n : (p+1)*n]
 				for j, bv := range brow {
 					orow[j] += av * bv
+				}
+			}
+			if bias != nil {
+				bv := bias[i]
+				for j := range orow {
+					orow[j] += bv
 				}
 			}
 		}
@@ -103,7 +127,34 @@ func matmulInto(out, a, b []float64, m, k, n int) {
 				orow[j] += av * bv
 			}
 		}
+		if bias != nil {
+			bv := bias[i]
+			for j := range orow {
+				orow[j] += bv
+			}
+		}
 	}
+}
+
+// MatMulBiasInto computes out = a · b and adds bias[i] to every element of
+// output row i, reusing out's buffer. a is (m, k), b is (k, n), bias is
+// rank-1 of length m. The bias add rides the matmul's per-row epilogue
+// rather than a second pass over the output, but each element's value is
+// bit-identical to MatMulInto followed by a row-wise bias broadcast. The
+// convolution forward path uses this to fold its bias into the im2col
+// product walk.
+func MatMulBiasInto(out, a, b, bias *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 || bias.Rank() != 1 {
+		return fmt.Errorf("tensor: matmulbiasinto needs rank (2,2,1) operands into rank-2 out")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n || bias.shape[0] != m {
+		return fmt.Errorf("tensor: matmulbiasinto shape mismatch %v x %v + %v -> %v",
+			a.shape, b.shape, bias.shape, out.shape)
+	}
+	matmulBiasInto(out.data, a.data, b.data, bias.data, m, k, n)
+	return nil
 }
 
 // Transpose returns a new tensor holding the transpose of a rank-2 tensor.

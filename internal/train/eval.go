@@ -2,8 +2,10 @@ package train
 
 import (
 	"fmt"
+	"math"
 
 	"hotspot/internal/nn"
+	"hotspot/internal/nn/fused"
 	"hotspot/internal/parallel"
 	"hotspot/internal/tensor"
 )
@@ -50,19 +52,22 @@ func Decide(probHot, shift float64) bool { return probHot > 0.5-shift }
 // EvalSet computes Metrics over a sample set with the given boundary shift,
 // serially on the calling goroutine. For parallel scoring use an Evaluator.
 func EvalSet(net *nn.Network, samples []Sample, shift float64) (Metrics, error) {
-	return evalSetOn([]*nn.Network{net}, parallel.New(1), samples, shift)
+	return evalSetOn(parallel.New(1), samples, shift, func(_ int, x *tensor.Tensor) (float64, error) {
+		return PredictProb(net, x)
+	})
 }
 
-// evalSetOn scores samples across the pool; nets[w] is owned exclusively by
-// worker w for the duration of the call (inference mutates layer caches).
-// Predictions land in index-addressed slots, so the folded counts — and
-// with them every derived metric — are identical under any worker count.
-func evalSetOn(nets []*nn.Network, pool *parallel.Pool, samples []Sample, shift float64) (Metrics, error) {
+// evalSetOn scores samples across the pool; predict's worker argument owns
+// its replica exclusively for the duration of the call (inference mutates
+// layer caches). Predictions land in index-addressed slots, so the folded
+// counts — and with them every derived metric — are identical under any
+// worker count.
+func evalSetOn(pool *parallel.Pool, samples []Sample, shift float64, predict func(worker int, x *tensor.Tensor) (float64, error)) (Metrics, error) {
 	if len(samples) == 0 {
 		return Metrics{}, fmt.Errorf("train: empty evaluation set")
 	}
 	preds, err := parallel.Map(pool, len(samples), func(worker, i int) (bool, error) {
-		p, err := PredictProb(nets[worker], samples[i].X)
+		p, err := predict(worker, samples[i].X)
 		if err != nil {
 			return false, err
 		}
@@ -100,6 +105,14 @@ func evalSetOn(nets []*nn.Network, pool *parallel.Pool, samples []Sample, shift 
 type Evaluator struct {
 	nets []*nn.Network // nets[0] is the wrapped network
 	pool *parallel.Pool
+
+	// engines[w] is worker w's compiled fused inference plan, or nil until
+	// the first evaluation (or EnsureFused) compiles them. Engines alias
+	// their network's parameter tensors, and sync copies weights in place,
+	// so compiled plans stay current across training steps for free.
+	engines  []*fused.Engine
+	fusedOff bool // SetFused(false) pins the layer-by-layer path
+	fusedErr bool // compilation failed once; the layer stack won't change, don't retry
 }
 
 // NewEvaluator builds an evaluator over net with the given worker count
@@ -130,6 +143,109 @@ func (e *Evaluator) sync() error {
 	return nil
 }
 
+// EnsureFused compiles one fused inference engine per worker for inputs of
+// exactly inShape, replacing any engines compiled for a different shape.
+// It returns the compile error when the network has layers the fused
+// engine cannot execute; the evaluator then keeps using the layer-by-layer
+// path, which is always correct. Compilation is not safe concurrently with
+// evaluation — call it between evaluations (EvalSet and PredictProbs do,
+// lazily, before fanning out).
+func (e *Evaluator) EnsureFused(inShape []int) error {
+	if e.fusedOff {
+		return nil
+	}
+	if e.engines != nil && sameDims(e.engines[0].InShape(), inShape) {
+		return nil
+	}
+	engines := make([]*fused.Engine, len(e.nets))
+	for i, n := range e.nets {
+		eng, err := fused.Compile(n, inShape)
+		if err != nil {
+			e.fusedErr = true
+			return err
+		}
+		engines[i] = eng
+	}
+	e.engines = engines
+	return nil
+}
+
+// FusedActive reports whether compiled fused engines are serving
+// predictions (inputs of other shapes still fall back per sample).
+func (e *Evaluator) FusedActive() bool { return e.engines != nil }
+
+// SetFused enables (default) or disables the fused inference path. Both
+// paths produce bit-identical probabilities; disabling is an escape hatch
+// for debugging and for apples-to-apples benchmarking.
+func (e *Evaluator) SetFused(on bool) {
+	e.fusedOff = !on
+	if !on {
+		e.engines = nil
+	} else {
+		e.fusedErr = false
+	}
+}
+
+// ensureFusedFor lazily compiles engines for the first sample's shape.
+// Failure is not an error here: unfusable networks simply stay layered.
+func (e *Evaluator) ensureFusedFor(x *tensor.Tensor) {
+	if e.fusedOff || e.fusedErr {
+		return
+	}
+	_ = e.EnsureFused(x.Shape())
+}
+
+// predictOn scores one sample on worker w's replica: the fused engine when
+// one is compiled and the shape matches, the layer-by-layer network
+// otherwise. The two paths are bit-identical (fused parity contract), so
+// mixing them per sample cannot change any prediction.
+func (e *Evaluator) predictOn(worker int, x *tensor.Tensor) (float64, error) {
+	if e.engines != nil {
+		eng := e.engines[worker]
+		if eng.Accepts(x) {
+			out, err := eng.Forward(x)
+			if err != nil {
+				return 0, err
+			}
+			return probHot(out)
+		}
+	}
+	return PredictProb(e.nets[worker], x)
+}
+
+// probHot converts the classifier's two logits to the hotspot softmax
+// probability y(1) in nn.Softmax's exact operation order (running max,
+// exp of shifted logits, sequential sum, one divide), so the fused path
+// returns bit-identical probabilities to PredictProb.
+func probHot(out []float64) (float64, error) {
+	if len(out) != 2 {
+		return 0, fmt.Errorf("train: classifier emitted %d outputs, want 2", len(out))
+	}
+	m := out[0]
+	if out[1] > m {
+		m = out[1]
+	}
+	e0 := math.Exp(out[0] - m)
+	e1 := math.Exp(out[1] - m)
+	sum := 0.0
+	sum += e0
+	sum += e1
+	return e1 / sum, nil
+}
+
+// sameDims reports whether two shape slices are identical.
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, d := range a {
+		if d != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // EvalSet computes Metrics over a sample set with the given boundary
 // shift, fanning samples across the pool. Results are identical to the
 // serial EvalSet.
@@ -137,7 +253,8 @@ func (e *Evaluator) EvalSet(samples []Sample, shift float64) (Metrics, error) {
 	if err := e.sync(); err != nil {
 		return Metrics{}, err
 	}
-	return evalSetOn(e.nets, e.pool, samples, shift)
+	e.ensureFusedFor(samples[0].X)
+	return evalSetOn(e.pool, samples, shift, e.predictOn)
 }
 
 // PredictProbs scores every input in parallel and returns the hotspot
@@ -146,7 +263,10 @@ func (e *Evaluator) PredictProbs(xs []*tensor.Tensor) ([]float64, error) {
 	if err := e.sync(); err != nil {
 		return nil, err
 	}
+	if len(xs) > 0 {
+		e.ensureFusedFor(xs[0])
+	}
 	return parallel.Map(e.pool, len(xs), func(worker, i int) (float64, error) {
-		return PredictProb(e.nets[worker], xs[i])
+		return e.predictOn(worker, xs[i])
 	})
 }

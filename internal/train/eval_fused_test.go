@@ -1,0 +1,177 @@
+package train
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hotspot/internal/tensor"
+)
+
+// TestEvaluatorFusedBitParity pins the evaluator's fused engines against
+// the layer-by-layer path at the bit level: same probabilities from
+// PredictProbs with the engines on and off, across worker counts, and
+// identical Metrics from EvalSet. (TestEvaluatorMatchesEvalSet already
+// compares fused-evaluator metrics to the serial path; this test asserts
+// the probabilities themselves and that the fused path is actually live.)
+func TestEvaluatorFusedBitParity(t *testing.T) {
+	samples := imbalancedToy(40, 53)
+	xs := make([]*tensor.Tensor, len(samples))
+	for i := range samples {
+		xs[i] = samples[i].X
+	}
+	net := dropoutNet(t, 59)
+	for _, workers := range []int{1, 3, 4} {
+		ev, err := NewEvaluator(net, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.SetFused(false)
+		layered, err := ev.PredictProbs(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.FusedActive() {
+			t.Fatalf("workers=%d: engines active with fusion disabled", workers)
+		}
+		ev.SetFused(true)
+		fused, err := ev.PredictProbs(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ev.FusedActive() {
+			t.Fatalf("workers=%d: fused engines did not activate for the paper net", workers)
+		}
+		for i := range fused {
+			if math.Float64bits(fused[i]) != math.Float64bits(layered[i]) {
+				t.Fatalf("workers=%d sample %d: fused %v != layered %v",
+					workers, i, fused[i], layered[i])
+			}
+		}
+		mFused, err := ev.EvalSet(samples, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.SetFused(false)
+		mLayered, err := ev.EvalSet(samples, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mFused != mLayered {
+			t.Fatalf("workers=%d: fused metrics %+v != layered %+v", workers, mFused, mLayered)
+		}
+	}
+}
+
+// TestEvaluatorFusedShapeFallback scores a mixed-shape batch: the engines
+// are compiled for the first sample's shape, and the paper net happens to
+// accept a (2,6,6) input too (its pools drop the odd edges and land on the
+// same fc1 width), so the off-shape samples must route to the
+// layer-by-layer fallback per sample and the whole batch must still match
+// the layered path bit for bit.
+func TestEvaluatorFusedShapeFallback(t *testing.T) {
+	net := dropoutNet(t, 61)
+	good := randToyInput(2, 4, 4, 71)
+	odd := randToyInput(2, 6, 6, 73)
+	xs := []*tensor.Tensor{good, odd, good, odd}
+	ev, err := NewEvaluator(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := ev.PredictProbs(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.FusedActive() {
+		t.Fatal("fused engines did not activate")
+	}
+	if got, want := len(ev.engines[0].InShape()), 3; got != want {
+		t.Fatalf("engine input rank %d, want %d", got, want)
+	}
+	if !ev.engines[0].Accepts(good) || ev.engines[0].Accepts(odd) {
+		t.Fatal("engines should accept the compiled shape and reject the odd one")
+	}
+	ev.SetFused(false)
+	layered, err := ev.PredictProbs(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fused {
+		if math.Float64bits(fused[i]) != math.Float64bits(layered[i]) {
+			t.Fatalf("sample %d: fused-with-fallback %v != layered %v", i, fused[i], layered[i])
+		}
+	}
+}
+
+// TestEvaluatorsFusedConcurrent runs several fused evaluators — each
+// wrapping its own network clone — at the same time, each fanning across
+// its own pool. Under -race this pins the engine ownership story: one
+// engine per worker, arenas never shared, weight aliases read-only during
+// evaluation.
+func TestEvaluatorsFusedConcurrent(t *testing.T) {
+	base := dropoutNet(t, 79)
+	samples := imbalancedToy(30, 83)
+	const evals = 4
+	var wg sync.WaitGroup
+	results := make([]Metrics, evals)
+	errs := make([]error, evals)
+	for g := 0; g < evals; g++ {
+		net, err := base.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEvaluator(net, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, ev *Evaluator) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				m, err := ev.EvalSet(samples, 0)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				results[g] = m
+			}
+		}(g, ev)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("evaluator %d: %v", g, err)
+		}
+	}
+	want, err := EvalSet(base, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, m := range results {
+		if m != want {
+			t.Fatalf("evaluator %d: metrics %+v != serial %+v", g, m, want)
+		}
+	}
+}
+
+// randToyInput builds a deterministic random tensor for fallback tests.
+func randToyInput(c, h, w int, seed int64) *tensor.Tensor {
+	x := tensor.New(c, h, w)
+	rng := newTestRNG(seed)
+	for i := range x.Data() {
+		x.Data()[i] = rng()
+	}
+	return x
+}
+
+// newTestRNG returns a tiny deterministic float generator (xorshift-based)
+// so shape-fallback inputs don't depend on math/rand stream coupling.
+func newTestRNG(seed int64) func() float64 {
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(int64(s%2000)-1000) / 500.0
+	}
+}

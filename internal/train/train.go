@@ -375,7 +375,9 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 			var m Metrics
 			if nW > 1 {
 				syncReplicas()
-				m, err = evalSetOn(replicas, pool, valSet, 0)
+				m, err = evalSetOn(pool, valSet, 0, func(worker int, x *tensor.Tensor) (float64, error) {
+					return PredictProb(replicas[worker], x)
+				})
 			} else {
 				m, err = EvalSet(net, valSet, 0)
 			}

@@ -9,10 +9,14 @@
 #                            observability clock policy
 #                            (see DESIGN.md "Determinism & numerics rules")
 #   4. go test -race ./...   unit + parity tests under the race detector
-#   5. scripts/smoke         hsd-serve end-to-end smoke: boot on an
+#   5. bench smoke           hsd-bench -exp infer with a few fixed reps:
+#                            gates fused-vs-layered bit parity on every
+#                            Table 1 geometry before timing anything, so a
+#                            kernel change that alters numbers fails here
+#   6. scripts/smoke         hsd-serve end-to-end smoke: boot on an
 #                            ephemeral port, predict, healthz, metrics,
 #                            -pprof debug surface, SIGINT drain, zero exit
-#   6. scripts/trainsmoke    hsd-train observability smoke: tiny suite,
+#   7. scripts/trainsmoke    hsd-train observability smoke: tiny suite,
 #                            -telemetry JSONL (manifest/epoch/result) and
 #                            -metrics-out stage summaries parse and assert
 #
@@ -37,6 +41,11 @@ go run ./cmd/hsd-vet ./...
 
 echo "==> go test -race ${short} ./..."
 go test -race ${short} ./...
+
+echo "==> infer bench smoke (fused/layered parity gate)"
+infer_tmp="$(mktemp)"
+go run ./cmd/hsd-bench -exp infer -infer-reps 3 -infer-out "${infer_tmp}" > /dev/null
+rm -f "${infer_tmp}"
 
 echo "==> hsd-serve smoke"
 go run ./scripts/smoke
