@@ -1,22 +1,33 @@
-// Command hsd-vet runs the project's static-analysis suite: six analyzers
-// that machine-check the determinism, numerics, concurrency, and
-// observability contracts the reproduction depends on (see DESIGN.md
-// "Determinism & numerics rules"). It is part of the standing check gate alongside `go vet` and
-// `go test -race` (scripts/check.sh).
+// Command hsd-vet runs the project's static-analysis suite: eight
+// analyzers that machine-check the determinism, numerics, concurrency,
+// observability, and hot-path contracts the reproduction depends on (see
+// DESIGN.md "Determinism & numerics rules"). Six are per-package AST
+// passes; hotlint and alloclint are interprocedural, working on a static
+// call graph of the whole module. It is part of the standing check gate
+// alongside `go vet` and `go test -race` (scripts/check.sh).
 //
 // Usage:
 //
 //	hsd-vet [packages]              # default ./...
 //	hsd-vet -only seedlint,errlint ./internal/...
+//	hsd-vet -only hotlint ./...     # just the hot-path contract
 //	hsd-vet -list                   # describe the analyzers
+//	hsd-vet -callgraph ./...        # dump the static call graph and exit
+//	hsd-vet -waivers ./...          # audit //hsd:allow directives; fail on stale ones
 //
-// Exit status is 0 when no findings survive, 1 when findings are printed,
-// 2 on usage or load errors. Individual findings can be waived with a
-// `//hsd:allow <analyzer> <reason>` comment on or above the offending
-// line.
+// Exit status is 0 when no findings survive, 1 when findings are printed
+// (or, with -waivers, stale waivers found), 2 on usage or load errors.
+// Individual findings can be waived with a `//hsd:allow <analyzer>
+// <reason>` comment on or above the offending line; hotlint and alloclint
+// waivers require the reason. A `//hsd:cold <reason>` directive on a call
+// declares that edge off the hot path, and hotlint's walk skips it. A package that fails to load is reported
+// and skipped — the rest are still analyzed, and the exit status is
+// nonzero.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,8 +40,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-vet: ")
 	var (
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		callgraph = flag.Bool("callgraph", false, "dump the static call graph (roots, edges, hot reachability) and exit")
+		waivers   = flag.Bool("waivers", false, "report every //hsd:allow directive and fail on stale ones")
 	)
 	flag.Parse()
 
@@ -51,20 +64,96 @@ func main() {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := lint.Load(".", patterns...)
+	loadFailed := false
+	if err != nil {
+		var lerr *lint.LoadError
+		if errors.As(err, &lerr) && len(pkgs) > 0 {
+			log.Println(err)
+			log.Printf("continuing with the %d package(s) that loaded", len(pkgs))
+			loadFailed = true
+		} else {
+			log.Println(err)
+			os.Exit(2)
+		}
+	}
+
+	if *callgraph {
+		w := bufio.NewWriter(os.Stdout)
+		if err := lint.BuildProgram(pkgs).WriteGraph(w); err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		if loadFailed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	diags, waiverList, err := lint.RunAll(pkgs, analyzers)
 	if err != nil {
 		log.Println(err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(pkgs, analyzers)
-	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+
+	if *waivers {
+		// Staleness is only meaningful for analyzers that actually ran:
+		// with -only, waivers for unselected analyzers are not judged —
+		// but a waiver naming an analyzer that does not exist at all is
+		// always stale (a typo suppresses nothing, silently).
+		selected := make(map[string]bool)
+		for _, a := range analyzers {
+			selected[a.Name] = true
+		}
+		known := map[string]bool{lint.ColdDirective: true}
+		for _, a := range lint.All() {
+			known[a.Name] = true
+		}
+		stale := 0
+		for _, w := range waiverList {
+			status := "used"
+			switch {
+			case !known[w.Analyzer]:
+				status = "STALE (unknown analyzer)"
+				stale++
+			case w.Analyzer == lint.ColdDirective && !selected["hotlint"],
+				w.Analyzer != lint.ColdDirective && !selected[w.Analyzer]:
+				// Only judged when the governing analyzer actually ran.
+				continue
+			case !w.Used:
+				status = "STALE"
+				stale++
+			}
+			reason := w.Reason
+			if reason == "" {
+				reason = "(no justification)"
+			}
+			directive := "hsd:allow " + w.Analyzer
+			if w.Analyzer == lint.ColdDirective {
+				directive = "hsd:cold"
+			}
+			fmt.Printf("%s:%d: %s [%s] %s\n", w.Pos.Filename, w.Pos.Line, directive, status, reason)
+		}
+		if stale > 0 {
+			log.Printf("%d stale waiver(s): they no longer suppress any finding — delete them", stale)
+			os.Exit(1)
+		}
+		if loadFailed {
+			os.Exit(1)
+		}
+		return
 	}
+
 	for _, d := range diags {
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
 		log.Printf("%d finding(s) in %d package(s)", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	if loadFailed {
 		os.Exit(1)
 	}
 }

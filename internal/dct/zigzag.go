@@ -19,7 +19,7 @@ func ZigZagOrder(h, w int) []int {
 		panic(fmt.Sprintf("dct: zig-zag block must be positive, got %dx%d", h, w))
 	}
 	key := [2]int{h, w}
-	if v, ok := zigzagCache.Load(key); ok {
+	if v, ok := zigzagCache.Load(key); ok { //hsd:allow hotlint one atomic read of an immutable memo table; contention-free after first use
 		return v.([]int)
 	}
 	order := make([]int, 0, h*w)
@@ -44,7 +44,7 @@ func ZigZagOrder(h, w int) []int {
 			}
 		}
 	}
-	zigzagCache.Store(key, order)
+	zigzagCache.Store(key, order) //hsd:allow hotlint first-use table build; duplicate stores race benignly with identical values
 	return order
 }
 

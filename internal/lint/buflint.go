@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"path"
+	"strings"
 )
 
 // Buflint guards the allocation-churn wins of the data-parallel rework:
@@ -14,22 +15,27 @@ import (
 // are grown, not reallocated.
 //
 // Flagged: make of a float slice inside a Forward/Backward method (any
-// case) in a package named nn, tensor, or train — unless the make is
-// behind a capacity-growth guard, i.e. an enclosing if whose condition
+// case) in a package named nn, tensor, train, or fused — unless the make
+// is behind a capacity-growth guard, i.e. an enclosing if whose condition
 // calls cap(...), which is exactly the amortized grow-once idiom
-// (`if cap(buf) < n { buf = make([]float64, n) }`).
+// (`if cap(buf) < n { buf = make([]float64, n) }`). Two further packages
+// carry their own specs: serve's batcher bodies (run/fill/drain), where
+// any per-batch slice make churns at request rate and the scratch/slot
+// buffers exist precisely to be reused, and dct's *Into kernels, whose
+// contract is writing into caller storage — a make of a float slice
+// inside one belies the name.
 var Buflint = &Analyzer{
 	Name: "buflint",
-	Doc:  "flags per-call float-slice allocation in nn/tensor/train forward/backward hot paths",
+	Doc:  "flags per-call slice allocation in the nn/tensor/train/fused, serve batcher, and dct Into hot paths",
 	Run:  runBuflint,
 }
 
-// hotPackages are the packages whose Forward/Backward methods sit on the
-// per-sample training or inference path. fused is the compiled inference
-// engine, whose whole point is a zero-allocation Forward: all buffers are
-// planned into the compile-time arena, so any make in its Forward is a
-// regression.
-var hotPackages = map[string]bool{"nn": true, "tensor": true, "train": true, "fused": true}
+// bufSpec describes one hot package's rule: which functions are hot, and
+// whether every slice element type is covered or floats only.
+type bufSpec struct {
+	hot      func(name string) bool
+	anySlice bool
+}
 
 func isHotFunc(name string) bool {
 	switch name {
@@ -39,7 +45,29 @@ func isHotFunc(name string) bool {
 	return false
 }
 
-func isFloatSliceMake(pass *Pass, call *ast.CallExpr) bool {
+// bufSpecs keys hot packages by base name. nn/tensor/train carry the
+// per-sample training path; fused is the compiled inference engine, whose
+// whole point is a zero-allocation Forward: all buffers are planned into
+// the compile-time arena, so any make in its Forward is a regression.
+var bufSpecs = map[string]bufSpec{
+	"nn":     {hot: isHotFunc},
+	"tensor": {hot: isHotFunc},
+	"train":  {hot: isHotFunc},
+	"fused":  {hot: isHotFunc},
+	"serve": {
+		hot: func(name string) bool {
+			switch name {
+			case "run", "fill", "drain":
+				return true
+			}
+			return false
+		},
+		anySlice: true,
+	},
+	"dct": {hot: func(name string) bool { return strings.HasSuffix(name, "Into") }},
+}
+
+func isSliceMake(pass *Pass, call *ast.CallExpr, anyElem bool) bool {
 	if !isBuiltin(pass.Info, call, "make") || len(call.Args) == 0 {
 		return false
 	}
@@ -48,12 +76,15 @@ func isFloatSliceMake(pass *Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	s, ok := tv.Type.Underlying().(*types.Slice)
-	return ok && isFloat(s.Elem())
+	if !ok {
+		return false
+	}
+	return anyElem || isFloat(s.Elem())
 }
 
 // underCapGuard reports whether some enclosing if statement's condition
 // calls the cap builtin — the amortized buffer-growth idiom.
-func underCapGuard(pass *Pass, stack []ast.Node) bool {
+func underCapGuard(info *types.Info, stack []ast.Node) bool {
 	for _, n := range stack {
 		ifs, ok := n.(*ast.IfStmt)
 		if !ok {
@@ -61,7 +92,7 @@ func underCapGuard(pass *Pass, stack []ast.Node) bool {
 		}
 		guarded := false
 		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
-			if call, ok := c.(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "cap") {
+			if call, ok := c.(*ast.CallExpr); ok && isBuiltin(info, call, "cap") {
 				guarded = true
 			}
 			return !guarded
@@ -74,8 +105,14 @@ func underCapGuard(pass *Pass, stack []ast.Node) bool {
 }
 
 func runBuflint(pass *Pass) error {
-	if !hotPackages[path.Base(pass.Pkg.Path())] {
+	base := path.Base(pass.Pkg.Path())
+	spec, ok := bufSpecs[base]
+	if !ok {
 		return nil
+	}
+	kind := "float slice"
+	if spec.anySlice {
+		kind = "slice"
 	}
 	for _, file := range pass.Files {
 		if isTestFile(pass.Fset, file.Pos()) {
@@ -83,18 +120,18 @@ func runBuflint(pass *Pass) error {
 		}
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotFunc(fd.Name.Name) {
+			if !ok || fd.Body == nil || !spec.hot(fd.Name.Name) {
 				continue
 			}
 			walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
-				if !ok || !isFloatSliceMake(pass, call) {
+				if !ok || !isSliceMake(pass, call, spec.anySlice) {
 					return true
 				}
-				if underCapGuard(pass, stack) {
+				if underCapGuard(pass.Info, stack) {
 					return true
 				}
-				pass.Reportf(call.Pos(), "per-call make of a float slice in hot path %s.%s; reuse a receiver buffer and grow it behind a cap guard", path.Base(pass.Pkg.Path()), fd.Name.Name)
+				pass.Reportf(call.Pos(), "per-call make of a %s in hot path %s.%s; reuse a receiver buffer and grow it behind a cap guard", kind, base, fd.Name.Name)
 				return true
 			})
 		}

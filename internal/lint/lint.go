@@ -5,8 +5,13 @@
 // or global randomness (seedlint), no float equality or map-ordered float
 // reduction (floatlint), all fan-out on internal/parallel's bounded pool
 // (goroutinelint), no silently discarded errors (errlint), no per-call
-// slice churn in the nn/tensor/train hot paths (buflint), and no raw
-// wall-clock reads outside internal/obs (timing).
+// slice churn in the nn/tensor/train/fused/serve/dct hot paths (buflint),
+// and no raw wall-clock reads outside internal/obs (timing). Two
+// interprocedural analyzers work on a static call graph of the whole
+// module (see callgraph.go): hotlint walks everything reachable from
+// //hsd:hotpath roots and flags transitive breaches of the hot-loop
+// contract, and alloclint parses `go build -gcflags='-m -m'` escape
+// diagnostics to verify that //hsd:noalloc functions never allocate.
 //
 // The package mirrors the golang.org/x/tools/go/analysis contract
 // (Analyzer, Pass, Diagnostic) on the standard library alone — go/ast for
@@ -16,7 +21,12 @@
 // A finding can be silenced with a trailing or preceding comment of the
 // form `//hsd:allow <analyzer> <reason>`; the reason is mandatory by
 // convention so the suppression documents why the invariant is safe to
-// waive at that site.
+// waive at that site. A second directive, `//hsd:cold <reason>`, declares
+// a call edge cold: hotlint's reachability walk does not follow it (the
+// canonical case is a lazy once-per-reload initialization reached from a
+// hot loop). Suppression and edge-cutting are deliberately separate
+// grammars — waiving an interface-dispatch finding must not silently
+// un-check everything behind the call.
 package lint
 
 import (
@@ -35,7 +45,7 @@ import (
 // becomes available.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, -only filters, and
-	// hsd:allow directives. Lower-case, no spaces.
+	// waiver directives. Lower-case, no spaces.
 	Name string
 
 	// Doc is a one-paragraph description of the invariant enforced.
@@ -45,6 +55,42 @@ type Analyzer struct {
 	// through the pass. A non-nil error aborts the whole run (reserved
 	// for analyzer bugs, not findings).
 	Run func(*Pass) error
+
+	// RunProgram, when set instead of Run, applies the analyzer once to
+	// the whole loaded program — the interprocedural analyzers (hotlint,
+	// alloclint) work on the call graph rather than package by package.
+	RunProgram func(*ProgramPass) error
+}
+
+// A ProgramPass presents the whole-program call graph to an
+// interprocedural analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	// Waivers are every //hsd:allow and //hsd:cold directive in the
+	// loaded packages (cold directives carry Analyzer == "cold"). Hotlint
+	// treats cold directives on call sites as traversal barriers and
+	// marks the ones that cut an edge as Used.
+	Waivers []*Waiver
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Prog.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an already-resolved position — for
+// analyzers whose facts come from outside the fileset (alloclint's
+// compiler diagnostics).
+func (p *ProgramPass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // A Pass presents one type-checked package to an analyzer.
@@ -80,7 +126,7 @@ func (d Diagnostic) String() string {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Seedlint, Floatlint, Goroutinelint, Errlint, Buflint, Timing}
+	return []*Analyzer{Seedlint, Floatlint, Goroutinelint, Errlint, Buflint, Timing, Hotlint, Alloclint}
 }
 
 // Select resolves a comma-separated list of analyzer names, defaulting to
@@ -108,10 +154,22 @@ func Select(names string) ([]*Analyzer, error) {
 // Run applies the analyzers to every package and returns the surviving
 // findings sorted by position. hsd:allow-suppressed findings are dropped.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAll(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAll is Run plus the waiver ledger: every `//hsd:allow` directive seen
+// in the loaded packages, with Used marking the ones that suppressed at
+// least one finding this run. hsd-vet -waivers uses the ledger to fail on
+// stale waivers; hotlint/alloclint waivers additionally require a
+// justification string, enforced here.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []*Waiver, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allowed := allowDirectives(pkg)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -121,11 +179,58 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		diags = filterAllowed(diags, allowed)
 	}
+
+	waivers := collectWaivers(pkgs)
+
+	// Program-level analyzers run once over all packages; the graph is
+	// built lazily so package-scoped invocations stay cheap.
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+		}
+		pp := &ProgramPass{Analyzer: a, Prog: prog, Waivers: waivers, diags: &diags}
+		if err := a.RunProgram(pp); err != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+
+	diags = applyWaivers(diags, waivers)
+
+	// A hotlint/alloclint waiver relaxes a whole-program contract, so it
+	// must say why. Emitted after suppression so a reason-less waiver
+	// cannot silence its own violation.
+	selected := make(map[string]bool)
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	for _, w := range waivers {
+		if strings.TrimSpace(w.Reason) != "" {
+			continue
+		}
+		switch {
+		case (w.Analyzer == "hotlint" || w.Analyzer == "alloclint") && selected[w.Analyzer]:
+			diags = append(diags, Diagnostic{
+				Analyzer: w.Analyzer,
+				Pos:      w.Pos,
+				Message:  fmt.Sprintf("hsd:allow %s waiver needs a justification string", w.Analyzer),
+			})
+		case w.Analyzer == ColdDirective && selected["hotlint"]:
+			diags = append(diags, Diagnostic{
+				Analyzer: "hotlint",
+				Pos:      w.Pos,
+				Message:  "hsd:cold directive needs a justification string",
+			})
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -139,10 +244,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, waivers, nil
 }
 
-var allowRE = regexp.MustCompile(`hsd:allow\s+([a-z0-9_,-]+)`)
+// A Waiver is one `//hsd:allow <analyzer> <reason>` or
+// `//hsd:cold <reason>` directive found in the tree (the latter carries
+// Analyzer == "cold"). Used is set when the directive suppressed at least
+// one finding — or, for cold directives, cut at least one call edge — in
+// the run that collected it.
+type Waiver struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	Used     bool
+}
+
+// allowRE matches a waiver directive at the start of a comment. Anchoring
+// to the comment opener keeps prose *mentions* of hsd:allow (analyzer doc
+// strings, this file) from registering as directives.
+var allowRE = regexp.MustCompile(`^//\s*hsd:allow\s+([a-z0-9_,-]+)[ \t]*(.*)$`)
+
+// coldRE matches a cold-edge declaration: `//hsd:cold <reason>`.
+var coldRE = regexp.MustCompile(`^//\s*hsd:cold(?:[ \t]+(.*))?$`)
+
+// ColdDirective is the pseudo-analyzer name cold-edge declarations carry
+// in the waiver ledger.
+const ColdDirective = "cold"
 
 // allowKey addresses one suppressed (file line, analyzer) pair.
 type allowKey struct {
@@ -151,37 +278,77 @@ type allowKey struct {
 	analyzer string
 }
 
-// allowDirectives collects `//hsd:allow name` comments. A directive
-// suppresses the named analyzer on its own line and the line below, so it
-// can trail the offending expression or sit on its own line above it.
-func allowDirectives(pkg *Package) map[allowKey]bool {
-	out := make(map[allowKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(m[1], ",") {
-					out[allowKey{pos.Filename, pos.Line, name}] = true
-					out[allowKey{pos.Filename, pos.Line + 1, name}] = true
+// collectWaivers gathers the `//hsd:allow name reason` directives from
+// every loaded file, in deterministic (file, line) order.
+func collectWaivers(pkgs []*Package) []*Waiver {
+	var out []*Waiver
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if m := coldRE.FindStringSubmatch(c.Text); m != nil {
+						out = append(out, &Waiver{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: ColdDirective,
+							Reason:   strings.TrimSpace(m[1]),
+						})
+						continue
+					}
+					m := allowRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, name := range strings.Split(m[1], ",") {
+						out = append(out, &Waiver{
+							Pos:      pos,
+							Analyzer: name,
+							Reason:   strings.TrimSpace(m[2]),
+						})
+					}
 				}
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
 	return out
 }
 
-func filterAllowed(diags []Diagnostic, allowed map[allowKey]bool) []Diagnostic {
-	if len(allowed) == 0 {
+// applyWaivers drops findings covered by a waiver directive on the same
+// line or the line above (so a directive can trail the offending
+// expression or sit on its own line above it), marking the waivers that
+// fired.
+func applyWaivers(diags []Diagnostic, waivers []*Waiver) []Diagnostic {
+	if len(waivers) == 0 {
 		return diags
+	}
+	byKey := make(map[allowKey][]*Waiver)
+	for _, w := range waivers {
+		if w.Analyzer == ColdDirective {
+			// Cold directives cut edges; they never silence findings.
+			continue
+		}
+		byKey[allowKey{w.Pos.Filename, w.Pos.Line, w.Analyzer}] = append(byKey[allowKey{w.Pos.Filename, w.Pos.Line, w.Analyzer}], w)
+		byKey[allowKey{w.Pos.Filename, w.Pos.Line + 1, w.Analyzer}] = append(byKey[allowKey{w.Pos.Filename, w.Pos.Line + 1, w.Analyzer}], w)
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		ws := byKey[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+		if len(ws) == 0 {
 			kept = append(kept, d)
+			continue
+		}
+		for _, w := range ws {
+			w.Used = true
 		}
 	}
 	return kept

@@ -31,7 +31,51 @@ func TestBuflint(t *testing.T) {
 	linttest.Run(t, lint.Buflint,
 		"./testdata/src/buflint/nn",
 		"./testdata/src/buflint/fused",
+		"./testdata/src/buflint/serve",
+		"./testdata/src/buflint/dct",
 		"./testdata/src/buflint/other")
+}
+
+func TestHotlint(t *testing.T) {
+	linttest.Run(t, lint.Hotlint,
+		"./testdata/src/hotlint/a",
+		"./testdata/src/hotlint/b")
+}
+
+func TestAlloclint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloclint shells out to go build")
+	}
+	linttest.Run(t, lint.Alloclint, "./testdata/src/alloclint/a")
+}
+
+// TestWaiverJustification: hotlint waivers and cold directives without a
+// reason are findings in their own right (checked outside linttest, where
+// a want comment on the directive line would parse as its reason).
+func TestWaiverJustification(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/hotlint/noreason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, waivers, err := lint.RunAll(pkgs, []*lint.Analyzer{lint.Hotlint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 justification findings:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "needs a justification") {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	// The reason-less directives still functioned — waiver suppressed,
+	// cold edge cut — they are just findings too.
+	for _, w := range waivers {
+		if !w.Used {
+			t.Errorf("directive at %s:%d did not fire", w.Pos.Filename, w.Pos.Line)
+		}
+	}
 }
 
 func TestTiming(t *testing.T) {
@@ -45,8 +89,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 6 {
-		t.Fatalf("All: got %d analyzers, want 6", len(all))
+	if len(all) != 8 {
+		t.Fatalf("All: got %d analyzers, want 8", len(all))
 	}
 	two, err := lint.Select("seedlint, errlint")
 	if err != nil {

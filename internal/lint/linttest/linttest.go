@@ -23,6 +23,14 @@ import (
 	"hotspot/internal/lint"
 )
 
+// TB is the slice of testing.TB the harness reports through, split out so
+// the harness's own failure reporting is testable with a recording fake.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
+
 // expectation is one `// want "re"` entry, addressed by file and line.
 type expectation struct {
 	file    string
@@ -38,6 +46,12 @@ var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 // Run loads each fixture package directory, applies the analyzer, and
 // checks its diagnostics against the fixtures' want comments.
 func Run(t *testing.T, a *lint.Analyzer, dirs ...string) {
+	t.Helper()
+	RunTB(t, a, dirs...)
+}
+
+// RunTB is Run over the narrow TB interface.
+func RunTB(t TB, a *lint.Analyzer, dirs ...string) {
 	t.Helper()
 	pkgs, err := lint.Load(".", dirs...)
 	if err != nil {

@@ -1,0 +1,80 @@
+package linttest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"hotspot/internal/lint"
+	"hotspot/internal/lint/linttest"
+)
+
+// recorder is a TB fake that captures failure reports.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// flagger reports "boom" at every function whose name starts with "Flag".
+var flagger = &lint.Analyzer{
+	Name: "flagger",
+	Doc:  "test analyzer: flags Flag* declarations",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flag") {
+					pass.Reportf(fd.Pos(), "boom")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestReporting drives the harness over a fixture holding one matched
+// expectation, one diagnostic with no expectation, and one expectation
+// with no diagnostic — the harness must report exactly the last two.
+func TestReporting(t *testing.T) {
+	rec := &recorder{}
+	linttest.RunTB(rec, flagger, "./testdata/src/a")
+	if len(rec.fatals) != 0 {
+		t.Fatalf("unexpected fatals: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("got %d errors, want 2:\n%s", len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	var unexpected, missing bool
+	for _, e := range rec.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "boom") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no flagger diagnostic matched") && strings.Contains(e, "boom") {
+			missing = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("no unexpected-diagnostic report for FlagMiss's finding: %v", rec.errors)
+	}
+	if !missing {
+		t.Errorf("no missing-diagnostic report for Clean's want: %v", rec.errors)
+	}
+}
+
+// TestBadPattern asserts the harness dies cleanly on an unloadable
+// fixture path instead of limping into confusing match failures.
+func TestBadPattern(t *testing.T) {
+	rec := &recorder{}
+	linttest.RunTB(rec, flagger, "./testdata/src/does-not-exist")
+	if len(rec.fatals) == 0 {
+		t.Fatal("no fatal report for a nonexistent fixture directory")
+	}
+}

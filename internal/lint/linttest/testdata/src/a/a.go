@@ -1,0 +1,10 @@
+// Package a is the harness's own fixture: one matched expectation, one
+// unexpected diagnostic, one unmatched expectation. The harness test
+// drives a toy analyzer over it and asserts both failure channels fire.
+package a
+
+func Flagged() {} // want "boom"
+
+func FlagMiss() {}
+
+func Clean() {} // want "boom"

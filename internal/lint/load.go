@@ -14,15 +14,31 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 )
 
 // A Package is one type-checked package ready for analysis.
 type Package struct {
 	Path  string // import path
+	Dir   string // directory the package was loaded from
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+}
+
+// A LoadError reports the packages that failed to load (unresolvable by
+// the build system, unparsable, or failing type check). Load returns it
+// alongside the packages that did load, so a broken package degrades the
+// run to a partial analysis plus a nonzero exit instead of aborting
+// everything.
+type LoadError struct {
+	Problems []string
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("lint: %d package(s) failed to load:\n  %s",
+		len(e.Problems), strings.Join(e.Problems, "\n  "))
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -51,6 +67,10 @@ type listPackage struct {
 // Test files are not loaded: the contracts hsd-vet enforces are
 // production-code invariants, and the test tree is covered separately by
 // the `go test -race` leg of the check gate.
+//
+// A package that fails to resolve, parse, or type-check does not abort the
+// run: Load records it, keeps analyzing the rest, and returns the loaded
+// packages together with a *LoadError naming the failures.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -71,6 +91,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	exports := make(map[string]string)
 	var targets []*listPackage
+	var problems []string
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		p := new(listPackage)
@@ -80,7 +101,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+			if !p.DepOnly && !p.Standard {
+				problems = append(problems, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			}
+			continue
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -106,12 +130,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			continue // test-only package
 		}
 		var files []*ast.File
+		parseFailed := false
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("lint: %v", err)
+				problems = append(problems, fmt.Sprintf("%s: %v", p.ImportPath, err))
+				parseFailed = true
+				break
 			}
 			files = append(files, f)
+		}
+		if parseFailed {
+			continue
 		}
 		info := &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -125,15 +155,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+			problems = append(problems, fmt.Sprintf("%s: type check: %v", p.ImportPath, err))
+			continue
 		}
 		pkgs = append(pkgs, &Package{
 			Path:  p.ImportPath,
+			Dir:   p.Dir,
 			Fset:  fset,
 			Files: files,
 			Types: tpkg,
 			Info:  info,
 		})
+	}
+	if len(problems) > 0 {
+		return pkgs, &LoadError{Problems: problems}
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,108 @@
+package lint_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hotspot/internal/lint"
+)
+
+// writeModule lays out a throwaway module under t.TempDir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadContinuesPastBrokenPackage: a package that fails to parse is
+// reported through a LoadError naming it, while the healthy packages are
+// still returned for analysis.
+func TestLoadContinuesPastBrokenPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module tmpfixture\n\ngo 1.22\n",
+		"ok/ok.go":   "package ok\n\nfunc Fine() int { return 1 }\n",
+		"bad/bad.go": "package bad\n\nfunc Broken( {\n",
+		"bad2/b2.go": "package bad2\n\nvar X int = \"not an int\"\n",
+		"ok2/ok2.go": "package ok2\n\nconst Two = 2\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load returned nil error for a module with a broken package")
+	}
+	var lerr *lint.LoadError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("Load error is %T, want *lint.LoadError: %v", err, err)
+	}
+	if len(lerr.Problems) == 0 {
+		t.Fatal("LoadError carries no problems")
+	}
+	loaded := make(map[string]bool)
+	for _, p := range pkgs {
+		loaded[p.Path] = true
+	}
+	for _, want := range []string{"tmpfixture/ok", "tmpfixture/ok2"} {
+		if !loaded[want] {
+			t.Errorf("healthy package %s not loaded; got %v", want, loaded)
+		}
+	}
+	for _, broken := range []string{"tmpfixture/bad", "tmpfixture/bad2"} {
+		if loaded[broken] {
+			t.Errorf("broken package %s returned as analyzable", broken)
+		}
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bad") {
+		t.Errorf("LoadError does not name the failing package: %s", msg)
+	}
+}
+
+// TestLoadRespectsBuildTags: a file excluded by build constraints must not
+// poison the package — its type errors are invisible to the loader.
+func TestLoadRespectsBuildTags(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        "module tmpfixture\n\ngo 1.22\n",
+		"p/p.go":        "package p\n\nfunc Live() int { return 1 }\n",
+		"p/excluded.go": "//go:build neverbuildme\n\npackage p\n\nvar Bad int = \"type error behind a build tag\"\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load failed on a package whose only errors sit behind a build tag: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tmpfixture/p" {
+		t.Fatalf("got packages %v, want exactly tmpfixture/p", pkgs)
+	}
+	for _, f := range pkgs[0].Files {
+		name := pkgs[0].Fset.Position(f.Pos()).Filename
+		if filepath.Base(name) == "excluded.go" {
+			t.Error("build-tag-excluded file was parsed into the package")
+		}
+	}
+}
+
+// TestLoadEmptyMatch: a pattern matching nothing is an error, not an
+// empty success that would vacuously pass the check gate.
+func TestLoadEmptyMatch(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpfixture\n\ngo 1.22\n",
+		"p/p.go": "package p\n",
+	})
+	pkgs, err := lint.Load(dir, "./nosuchdir/...")
+	if err == nil && len(pkgs) > 0 {
+		t.Fatalf("Load matched %d packages for a nonexistent pattern", len(pkgs))
+	}
+	if err == nil {
+		t.Fatal("Load returned nil error for a pattern matching nothing")
+	}
+}

@@ -1,0 +1,22 @@
+// Package dct is a buflint fixture for the Into kernels: their contract
+// is writing into caller storage, so a float-slice make inside one belies
+// the name. Integer index scratch and non-Into helpers stay legal.
+package dct
+
+func ForwardInto(dst, src []float64) {
+	tmp := make([]float64, len(src)) // want "per-call make of a float slice in hot path dct.ForwardInto"
+	copy(tmp, src)
+	copy(dst, tmp)
+}
+
+func scaleInto(dst []float64, s float64) {
+	idx := make([]int, len(dst)) // int slice — the dct rule covers floats only: clean
+	_ = idx
+	for i := range dst {
+		dst[i] *= s
+	}
+}
+
+func Forward(src []float64) []float64 {
+	return make([]float64, len(src)) // not an Into kernel: clean
+}

@@ -1,0 +1,21 @@
+// Package b proves hotlint's reach crosses package boundaries: it has no
+// hot-path roots of its own, but package a's Root calls Work, so Work's
+// breaches are diagnosed transitively with the root named in the message.
+package b
+
+import "sync"
+
+var mu sync.Mutex
+
+// Work is reached from a.Root; its synchronization is a transitive breach.
+func Work() int {
+	mu.Lock()         // want "Mutex..Lock on hot path .via root .*hotlint/a.Root"
+	defer mu.Unlock() // want "Mutex..Unlock on hot path"
+	return 1
+}
+
+// Idle is never reached from a root; its breach is not a finding.
+func Idle() {
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package noreason is a fixture for the mandatory-justification rule:
+// hotlint waivers and cold directives without a reason string are
+// themselves findings (loaded directly by lint_test, not linttest, since
+// a want comment on the directive line would read as its reason).
+package noreason
+
+import "fmt"
+
+//hsd:hotpath
+func Root() {
+	fmt.Println("x") //hsd:allow hotlint
+}
+
+//hsd:hotpath
+func Root2() {
+	skipped() //hsd:cold
+}
+
+func skipped() {}

@@ -60,7 +60,7 @@ func (n *Network) Layers() []Layer { return n.layers }
 func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	var err error
 	for _, l := range n.layers {
-		x, err = l.Forward(x, train)
+		x, err = l.Forward(x, train) //hsd:allow hotlint layer polymorphism is the training path's design; inference devirtualizes through the fused engine
 		if err != nil {
 			return nil, fmt.Errorf("nn: forward through %s: %w", l.Name(), err)
 		}
@@ -72,7 +72,7 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 func (n *Network) Backward(grad *tensor.Tensor) error {
 	var err error
 	for i := len(n.layers) - 1; i >= 0; i-- {
-		grad, err = n.layers[i].Backward(grad)
+		grad, err = n.layers[i].Backward(grad) //hsd:allow hotlint layer polymorphism is the training path's design; backprop has no fused counterpart
 		if err != nil {
 			return fmt.Errorf("nn: backward through %s: %w", n.layers[i].Name(), err)
 		}

@@ -70,7 +70,9 @@ type batcher struct {
 	mu     sync.RWMutex
 	closed bool
 
-	scratch []*request // batch assembly buffer, owned by the flush loop
+	scratch []*request       // batch assembly buffer, owned by the flush loop
+	xs      []*tensor.Tensor // extracted-tensor scratch, reused across batches
+	idx     []int            // xs→batch index scratch, reused across batches
 }
 
 func newBatcher(srv *Server, queueSize, maxBatch int, maxWait time.Duration, pool *parallel.Pool) *batcher {
@@ -83,6 +85,8 @@ func newBatcher(srv *Server, queueSize, maxBatch int, maxWait time.Duration, poo
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		scratch:  make([]*request, 0, maxBatch),
+		xs:       make([]*tensor.Tensor, 0, maxBatch),
+		idx:      make([]int, 0, maxBatch),
 	}
 }
 
@@ -192,12 +196,14 @@ type extraction struct {
 
 // run executes one micro-batch: parallel feature extraction, batched
 // inference, replies, cache fills.
+//
+//hsd:hotpath
 func (b *batcher) run(batch []*request) {
 	watch := obs.NewStopwatch()
-	m := b.srv.model.Load()
+	m := b.srv.model.Load() //hsd:allow hotlint one atomic pointer read per micro-batch pins the model across the batch
 	if m == nil {
 		for _, r := range batch {
-			r.resp <- result{err: ErrNoModel}
+			r.resp <- result{err: ErrNoModel} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
 		}
 		return
 	}
@@ -214,11 +220,11 @@ func (b *batcher) run(batch []*request) {
 	})
 	b.srv.metrics.stage(stageExtract, extractWatch.Elapsed())
 
-	xs := make([]*tensor.Tensor, 0, n)
-	idx := make([]int, 0, n)
+	xs := b.xs[:0]
+	idx := b.idx[:0]
 	for i, e := range exts {
 		if e.err != nil {
-			batch[i].resp <- result{err: e.err}
+			batch[i].resp <- result{err: e.err} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
 			continue
 		}
 		xs = append(xs, e.x)
@@ -230,11 +236,11 @@ func (b *batcher) run(batch []*request) {
 		b.srv.metrics.stage(stageInfer, inferWatch.Elapsed())
 		for j, i := range idx {
 			if err != nil {
-				batch[i].resp <- result{err: err}
+				batch[i].resp <- result{err: err} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
 				continue
 			}
 			b.srv.cache.add(batch[i].key, probs[j])
-			batch[i].resp <- result{prob: probs[j]}
+			batch[i].resp <- result{prob: probs[j]} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
 		}
 	}
 	b.srv.metrics.stage(stageBatch, watch.Elapsed())

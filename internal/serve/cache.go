@@ -61,7 +61,7 @@ func (c *clipCache) add(key uint64, prob float64) {
 	if c.cap <= 0 {
 		return
 	}
-	c.mu.Lock()
+	c.mu.Lock() //hsd:allow hotlint LRU fill is one short critical section per served request, off the numeric path
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).prob = prob

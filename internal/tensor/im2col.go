@@ -26,6 +26,7 @@ func Im2Col(in *Tensor, kh, kw, stride, pad int) (*Tensor, error) {
 	return out, nil
 }
 
+//hsd:noalloc
 func im2colInto(out, in []float64, c, h, w, kh, kw, stride, pad, oh, ow int) {
 	ncols := oh * ow
 	for ch := 0; ch < c; ch++ {

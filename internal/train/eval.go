@@ -192,13 +192,18 @@ func (e *Evaluator) ensureFusedFor(x *tensor.Tensor) {
 	if e.fusedOff || e.fusedErr {
 		return
 	}
-	_ = e.EnsureFused(x.Shape())
+	_ = e.EnsureFused(x.Shape()) //hsd:cold engine compilation runs once per model reload or input-shape change, not per sample
 }
 
 // predictOn scores one sample on worker w's replica: the fused engine when
 // one is compiled and the shape matches, the layer-by-layer network
 // otherwise. The two paths are bit-identical (fused parity contract), so
 // mixing them per sample cannot change any prediction.
+//
+// It is a hot-path root in its own right because it runs as a parallel
+// worker body: the func-value hop through parallel.Map hides it from the
+// callers' reachability walks.
+//hsd:hotpath
 func (e *Evaluator) predictOn(worker int, x *tensor.Tensor) (float64, error) {
 	if e.engines != nil {
 		eng := e.engines[worker]
@@ -260,7 +265,7 @@ func (e *Evaluator) EvalSet(samples []Sample, shift float64) (Metrics, error) {
 // PredictProbs scores every input in parallel and returns the hotspot
 // probabilities in input order.
 func (e *Evaluator) PredictProbs(xs []*tensor.Tensor) ([]float64, error) {
-	if err := e.sync(); err != nil {
+	if err := e.sync(); err != nil { //hsd:cold weight resync runs once per scoring call, amortized across the batch
 		return nil, err
 	}
 	if len(xs) > 0 {

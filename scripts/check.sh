@@ -20,15 +20,20 @@
 #                            -telemetry JSONL (manifest/epoch/result) and
 #                            -metrics-out stage summaries parse and assert
 #
-# Usage: scripts/check.sh [-short]
-#   -short   pass -short to go test (skips the slow experiment suites)
+# Usage: scripts/check.sh [-short|-lint-only]
+#   -short      pass -short to go test (skips the slow experiment suites)
+#   -lint-only  run legs 1-3 only (build, vet, hsd-vet) — the fast
+#               pre-commit loop; the analyzers alone catch contract
+#               breaches without waiting for the race suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 short=""
-if [[ "${1:-}" == "-short" ]]; then
-    short="-short"
-fi
+lint_only=""
+case "${1:-}" in
+-short) short="-short" ;;
+-lint-only) lint_only=1 ;;
+esac
 
 echo "==> go build ./..."
 go build ./...
@@ -38,6 +43,11 @@ go vet ./...
 
 echo "==> hsd-vet ./..."
 go run ./cmd/hsd-vet ./...
+
+if [[ -n "${lint_only}" ]]; then
+    echo "check gate: lint legs green (-lint-only)"
+    exit 0
+fi
 
 echo "==> go test -race ${short} ./..."
 go test -race ${short} ./...
