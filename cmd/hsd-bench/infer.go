@@ -36,8 +36,12 @@ type inferTarget struct {
 // inferEntry is one row of the JSON report. ns/op, B/op and allocs/op are
 // per single forward pass (batch runs divide by the batch size).
 type inferEntry struct {
-	Name            string  `json:"name"`
-	Batch           int     `json:"batch"`
+	Name  string `json:"name"`
+	Batch int    `json:"batch"`
+	// Reps is the repetition count actually timed — the -infer-reps value
+	// when fixed, the calibrated count otherwise (calibration is
+	// per-target, so the count varies per row).
+	Reps            int     `json:"reps"`
 	LayeredNsOp     float64 `json:"layered_ns_op"`
 	FusedNsOp       float64 `json:"fused_ns_op"`
 	LayeredBOp      float64 `json:"layered_b_op"`
@@ -53,7 +57,6 @@ type inferReport struct {
 	GOARCH         string       `json:"goarch"`
 	NumCPU         int          `json:"num_cpu"`
 	Kernel         string       `json:"kernel"` // fused conv-row kernel: avx2 or generic
-	Reps           int          `json:"reps"`   // 0 = auto-calibrated
 	Entries        []inferEntry `json:"entries"`
 	GeomeanSpeedup float64      `json:"geomean_e2e_speedup"` // over end-to-end entries
 }
@@ -247,7 +250,7 @@ func benchInferTarget(tg inferTarget, fixedReps int) (inferEntry, error) {
 			return inferEntry{}, err
 		}
 	}
-	e := inferEntry{Name: tg.name, Batch: tg.batch}
+	e := inferEntry{Name: tg.name, Batch: tg.batch, Reps: reps}
 	if e.LayeredNsOp, e.LayeredBOp, e.LayeredAllocsOp, err = timeInfer(reps, xs, layered); err != nil {
 		return inferEntry{}, err
 	}
@@ -271,7 +274,6 @@ func runInfer(outPath string, fixedReps int) error {
 		GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
 		Kernel: fused.Vectorized(),
-		Reps:   fixedReps,
 	}
 	logSum := 0.0
 	nE2E := 0

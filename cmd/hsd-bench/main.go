@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsd-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, infer, all")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, infer, scan, all")
 		scale   = flag.Float64("scale", 0.008, "fraction of the paper's sample counts")
 		seed    = flag.Int64("seed", 1, "generation/training seed")
 		iters   = flag.Int("iters", 800, "initial-round MGD iterations")
@@ -33,6 +33,11 @@ func main() {
 
 		inferOut  = flag.String("infer-out", "BENCH_infer.json", "JSON report path for -exp infer")
 		inferReps = flag.Int("infer-reps", 0, "fixed repetitions per -exp infer measurement (0 = auto-calibrate; small fixed values make a fast CI smoke run)")
+
+		scanOut   = flag.String("scan-out", "BENCH_scan.json", "JSON report path for -exp scan")
+		scanCells = flag.Int("scan-cells", 6, "die side in clip-sized cells for -exp scan")
+		scanReps  = flag.Int("scan-reps", 1, "timed repetitions per -exp scan arm (the incremental arm runs 5x this)")
+		scanDirty = flag.Int("scan-dirty", 0, "edit region side in nm for the incremental arm (0 = die/10, i.e. a 1%-dirty die)")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
@@ -82,6 +87,10 @@ func main() {
 			fmt.Println(s)
 		case "infer":
 			if err := runInfer(*inferOut, *inferReps); err != nil {
+				log.Fatal(err)
+			}
+		case "scan":
+			if err := runScan(*scanOut, *scanCells, *scanReps, *scanDirty, *seed, *workers); err != nil {
 				log.Fatal(err)
 			}
 		default:

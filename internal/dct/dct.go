@@ -156,15 +156,43 @@ func Inverse2D(src []float64, h, w int) ([]float64, error) {
 // needs, and it cuts the per-block cost from O(h·w·(h+w)) to
 // O(h·w·kh + h·kh·kw).
 func ForwardTruncated2D(src []float64, h, w, kh, kw int) ([]float64, error) {
+	out := make([]float64, kh*kw)
+	tmp := make([]float64, h*kw)
+	if err := ForwardTruncated2DInto(out, tmp, src, h, w, kh, kw); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForwardTruncated2DInto is ForwardTruncated2D writing into caller storage:
+// dst receives the kh×kw corner (len kh*kw) and tmp is row-transform
+// scratch (len h*kw). Nothing is allocated, so a block cache that
+// transforms every block of a full die can run the whole sweep out of
+// per-worker buffers. Results are bit-identical to ForwardTruncated2D.
+func ForwardTruncated2DInto(dst, tmp, src []float64, h, w, kh, kw int) error {
 	if len(src) != h*w {
-		return nil, fmt.Errorf("dct: block length %d does not match %dx%d", len(src), h, w)
+		return fmt.Errorf("dct: block length %d does not match %dx%d", len(src), h, w)
 	}
 	if kh <= 0 || kw <= 0 || kh > h || kw > w {
-		return nil, fmt.Errorf("dct: truncation %dx%d invalid for block %dx%d", kh, kw, h, w)
+		return fmt.Errorf("dct: truncation %dx%d invalid for block %dx%d", kh, kw, h, w)
 	}
-	ch, cw := Basis(h), Basis(w)
+	if len(dst) != kh*kw {
+		return fmt.Errorf("dct: dst length %d does not match corner %dx%d", len(dst), kh, kw)
+	}
+	if len(tmp) != h*kw {
+		return fmt.Errorf("dct: tmp length %d does not match %dx%d scratch", len(tmp), h, kw)
+	}
+	forwardTruncatedInto(dst, tmp, src, Basis(h), Basis(w), h, w, kh, kw)
+	return nil
+}
+
+// forwardTruncatedInto is the validated kernel behind ForwardTruncated2DInto:
+// rows are transformed against the first kw basis rows into tmp, then
+// columns against the first kh, with the exact per-element summation order
+// of the original ForwardTruncated2D loops.
+//hsd:noalloc
+func forwardTruncatedInto(dst, tmp, src, ch, cw []float64, h, w, kh, kw int) {
 	// tmp[y][v] for v < kw
-	tmp := make([]float64, h*kw)
 	for y := 0; y < h; y++ {
 		row := src[y*w : (y+1)*w]
 		for v := 0; v < kw; v++ {
@@ -176,7 +204,6 @@ func ForwardTruncated2D(src []float64, h, w, kh, kw int) ([]float64, error) {
 			tmp[y*kw+v] = s
 		}
 	}
-	out := make([]float64, kh*kw)
 	for u := 0; u < kh; u++ {
 		basis := ch[u*h : (u+1)*h]
 		for v := 0; v < kw; v++ {
@@ -184,8 +211,7 @@ func ForwardTruncated2D(src []float64, h, w, kh, kw int) ([]float64, error) {
 			for y := 0; y < h; y++ {
 				s += basis[y] * tmp[y*kw+v]
 			}
-			out[u*kw+v] = s
+			dst[u*kw+v] = s
 		}
 	}
-	return out, nil
 }

@@ -1,0 +1,60 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestForwardTruncated2DIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ h, w, kh, kw int }{
+		{8, 8, 8, 8},
+		{25, 25, 8, 8},
+		{12, 16, 3, 5},
+		{5, 5, 1, 1},
+	}
+	for _, c := range cases {
+		src := make([]float64, c.h*c.w)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		want, err := ForwardTruncated2D(src, c.h, c.w, c.kh, c.kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, c.kh*c.kw)
+		tmp := make([]float64, c.h*c.kw)
+		if err := ForwardTruncated2DInto(dst, tmp, src, c.h, c.w, c.kh, c.kw); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			// Bit-identical, not approximately equal: the Into kernel is the
+			// allocating path's body, and the scan engine's parity contract
+			// rests on exact equality.
+			if dst[i] != want[i] {
+				t.Fatalf("%dx%d k=%dx%d: coefficient %d = %v, want %v", c.h, c.w, c.kh, c.kw, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForwardTruncated2DIntoErrors(t *testing.T) {
+	src := make([]float64, 64)
+	good := func() ([]float64, []float64) { return make([]float64, 9), make([]float64, 8*3) }
+	dst, tmp := good()
+	if err := ForwardTruncated2DInto(dst, tmp, src[:63], 8, 8, 3, 3); err == nil {
+		t.Error("expected error for short src")
+	}
+	if err := ForwardTruncated2DInto(dst, tmp, src, 8, 8, 0, 3); err == nil {
+		t.Error("expected error for kh=0")
+	}
+	if err := ForwardTruncated2DInto(dst, tmp, src, 8, 8, 9, 3); err == nil {
+		t.Error("expected error for kh>h")
+	}
+	if err := ForwardTruncated2DInto(dst[:8], tmp, src, 8, 8, 3, 3); err == nil {
+		t.Error("expected error for short dst")
+	}
+	if err := ForwardTruncated2DInto(dst, tmp[:23], src, 8, 8, 3, 3); err == nil {
+		t.Error("expected error for short tmp")
+	}
+}

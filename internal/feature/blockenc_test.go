@@ -1,0 +1,82 @@
+package feature
+
+import (
+	"testing"
+)
+
+// TestBlockEncoderMatchesExtractTensor drives the scan engine's parity
+// contract at its root: encoding each pixel block of a rasterized core
+// through a standalone BlockEncoder must reproduce ExtractTensor's output
+// bit for bit, under both scalings.
+func TestBlockEncoderMatchesExtractTensor(t *testing.T) {
+	for _, cfg := range []TensorConfig{testCfg(), testCfgNorm()} {
+		c := testClip()
+		ft, err := ExtractTensor(c, c.Frame, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := ExtractCoreImage(c, c.Frame, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cfg.BlockPx(c.Frame.W())
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := cfg.NewBlockEncoder(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.BlockPx() != b || enc.K() != cfg.K {
+			t.Fatalf("encoder geometry (%d, %d), want (%d, %d)", enc.BlockPx(), enc.K(), b, cfg.K)
+		}
+		block := make([]float64, b*b)
+		vec := make([]float64, cfg.K)
+		for by := 0; by < cfg.Blocks; by++ {
+			for bx := 0; bx < cfg.Blocks; bx++ {
+				for y := 0; y < b; y++ {
+					srcRow := (by*b + y) * im.W
+					copy(block[y*b:(y+1)*b], im.Pix[srcRow+bx*b:srcRow+bx*b+b])
+				}
+				if err := enc.EncodeInto(vec, block); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < cfg.K; i++ {
+					if vec[i] != ft.At(i, by, bx) {
+						t.Fatalf("normalize=%v block (%d,%d) coeff %d: encoder %v, tensor %v",
+							cfg.Normalize, bx, by, i, vec[i], ft.At(i, by, bx))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockPx(t *testing.T) {
+	b, err := testCfg().BlockPx(480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 10 {
+		t.Fatalf("BlockPx(480) = %d, want 10", b)
+	}
+	if _, err := testCfg().BlockPx(482); err == nil {
+		t.Error("expected error for core not divisible by resolution")
+	}
+	if _, err := testCfg().BlockPx(400); err == nil {
+		t.Error("expected error for core not divisible into blocks")
+	}
+}
+
+func TestNewBlockEncoderErrors(t *testing.T) {
+	if _, err := testCfg().NewBlockEncoder(0); err == nil {
+		t.Error("expected error for zero block size")
+	}
+	if _, err := testCfg().NewBlockEncoder(5); err == nil {
+		t.Error("expected error for K over block capacity")
+	}
+	bad := TensorConfig{Blocks: 0, K: 32, ResNM: 4}
+	if _, err := bad.NewBlockEncoder(10); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}

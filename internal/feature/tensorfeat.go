@@ -83,6 +83,81 @@ func (c TensorConfig) ValidateCore(coreNM int) error {
 	return err
 }
 
+// BlockPx returns the per-block pixel side for a core window of the given
+// nanometre side, validating divisibility. The scan engine uses it to
+// quantize its window stride to the DCT block grid, so one cached block
+// transform serves every overlapping window that covers the block.
+func (c TensorConfig) BlockPx(coreNM int) (int, error) {
+	return c.blockSize(coreNM)
+}
+
+// BlockEncoder transforms one blockPx×blockPx pixel block into its
+// zig-zag-truncated, scaled K-vector of DCT coefficients — the per-block
+// kernel of ExtractTensor, factored out so the full-layout scan engine's
+// shared block cache computes bit-for-bit the same coefficient vectors as
+// per-clip extraction (the parity contract is structural: both paths call
+// this one encoder). An encoder owns its scratch buffers and is not safe
+// for concurrent use; parallel callers keep one per worker.
+type BlockEncoder struct {
+	blockPx int
+	k       int
+	scale   float64
+	zigzag  []int     // zigzag[i] = row-major index into the corner block
+	coef    []float64 // corner×corner truncated-DCT output
+	tmp     []float64 // row-transform scratch
+}
+
+// NewBlockEncoder builds the encoder for the configuration at the given
+// per-block pixel size (TensorConfig.BlockPx of the core side).
+func (c TensorConfig) NewBlockEncoder(blockPx int) (*BlockEncoder, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if blockPx <= 0 || c.K > blockPx*blockPx {
+		return nil, fmt.Errorf("feature: block size %d incompatible with K=%d", blockPx, c.K)
+	}
+	corner := dct.CoefficientCorner(blockPx, c.K)
+	order := dct.ZigZagOrder(blockPx, blockPx)
+	zig := make([]int, c.K)
+	for i := 0; i < c.K; i++ {
+		u, v := order[i]/blockPx, order[i]%blockPx
+		zig[i] = u*corner + v
+	}
+	scale := 1.0
+	if c.Normalize {
+		scale = 1 / float64(blockPx)
+	}
+	return &BlockEncoder{
+		blockPx: blockPx,
+		k:       c.K,
+		scale:   scale,
+		zigzag:  zig,
+		coef:    make([]float64, corner*corner),
+		tmp:     make([]float64, blockPx*corner),
+	}, nil
+}
+
+// BlockPx returns the encoder's pixel block side.
+func (e *BlockEncoder) BlockPx() int { return e.blockPx }
+
+// K returns the coefficient count written per block.
+func (e *BlockEncoder) K() int { return e.k }
+
+// EncodeInto writes the block's K scaled zig-zag coefficients into dst.
+// block must hold blockPx² row-major pixels and dst at least K values.
+//hsd:noalloc
+func (e *BlockEncoder) EncodeInto(dst, block []float64) error {
+	b := e.blockPx
+	corner := len(e.tmp) / b
+	if err := dct.ForwardTruncated2DInto(e.coef, e.tmp, block, b, b, corner, corner); err != nil {
+		return err
+	}
+	for i, idx := range e.zigzag {
+		dst[i] = e.coef[idx] * e.scale
+	}
+	return nil
+}
+
 // ExtractTensor computes the feature tensor of the core window of a clip:
 // the core is rasterized, divided into Blocks×Blocks sub-regions, each
 // sub-region is DCT-transformed, zig-zag flattened and truncated to K
@@ -144,16 +219,21 @@ func ExtractTensors(clips []geom.Clip, core geom.Rect, cfg TensorConfig, workers
 	})
 }
 
-// extractFromImage runs block-DCT encoding over an already-rasterized core.
-// The transform and scatter phases accumulate into the feature/dct and
-// feature/zigzag stage summaries, one observation per clip (aggregated
-// across its blocks).
+// extractFromImage runs block-DCT encoding over an already-rasterized core
+// through the shared BlockEncoder — the same kernel the scan engine's
+// block cache runs, which is what makes scan-vs-per-clip bit parity
+// structural rather than coincidental. The transform and scatter phases
+// accumulate into the feature/dct and feature/zigzag stage summaries, one
+// observation per clip (aggregated across its blocks).
 func extractFromImage(im *raster.Image, b int, cfg TensorConfig) (*tensor.Tensor, error) {
 	n := cfg.Blocks
-	corner := dct.CoefficientCorner(b, cfg.K)
-	order := dct.ZigZagOrder(b, b)
+	enc, err := cfg.NewBlockEncoder(b)
+	if err != nil {
+		return nil, err
+	}
 	out := tensor.New(cfg.K, n, n)
 	block := make([]float64, b*b)
+	vec := make([]float64, cfg.K)
 	var dctTime, zigTime time.Duration
 	for by := 0; by < n; by++ {
 		for bx := 0; bx < n; bx++ {
@@ -162,22 +242,13 @@ func extractFromImage(im *raster.Image, b int, cfg TensorConfig) (*tensor.Tensor
 				copy(block[y*b:(y+1)*b], im.Pix[srcRow+bx*b:srcRow+bx*b+b])
 			}
 			dctWatch := obs.NewStopwatch()
-			coef, err := dct.ForwardTruncated2D(block, b, b, corner, corner)
-			dctTime += dctWatch.Elapsed()
-			if err != nil {
+			if err := enc.EncodeInto(vec, block); err != nil {
 				return nil, err
 			}
-			scale := 1.0
-			if cfg.Normalize {
-				scale = 1 / float64(b)
-			}
+			dctTime += dctWatch.Elapsed()
 			zigWatch := obs.NewStopwatch()
 			for i := 0; i < cfg.K; i++ {
-				idx := order[i]
-				u, v := idx/b, idx%b
-				// The first K zig-zag entries lie inside the corner by
-				// construction (dct.CoefficientCorner).
-				out.Set(coef[u*corner+v]*scale, i, by, bx)
+				out.Set(vec[i], i, by, bx)
 			}
 			zigTime += zigWatch.Elapsed()
 		}

@@ -1,0 +1,158 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/parallel"
+)
+
+// This file grows the per-clip generator to die scale, following the
+// city-block recipe of the "Automatic Layout Generation" line of work
+// (PAPERS.md): a full synthetic die is a grid of clip-sized cells grouped
+// into districts, each district drawing its geometry from one of the
+// benchmark styles in styles.go. The result is the whole-layout input the
+// streaming scan engine (internal/scan) strides the detector across —
+// per-clip classification is the paper's evaluation, full-die scanning is
+// the deployment.
+
+// DieConfig parameterizes deterministic city-scale die generation.
+type DieConfig struct {
+	// CellsX, CellsY give the city grid in clip-sized cells.
+	CellsX, CellsY int
+	// CellNM is the cell side in nanometres; 0 means the first style's
+	// ClipNM. Every cell is drawn independently over its own window.
+	CellNM int
+	// Seed drives all generation. The same configuration always produces
+	// the same die, under any worker count.
+	Seed int64
+	// Styles are the district styles; nil means AllStyles(). Districts of
+	// DistrictCells×DistrictCells cells share one style, giving the die
+	// city-like regions of distinct track geometry.
+	Styles []Style
+	// DistrictCells is the district side in cells; 0 means 2.
+	DistrictCells int
+	// Workers bounds generation parallelism; 0 means parallel.Default().
+	Workers int
+}
+
+// Validate checks the configuration.
+func (c DieConfig) Validate() error {
+	if c.CellsX <= 0 || c.CellsY <= 0 {
+		return fmt.Errorf("layout: die needs a positive cell grid, got %dx%d", c.CellsX, c.CellsY)
+	}
+	if c.CellNM < 0 || c.DistrictCells < 0 {
+		return fmt.Errorf("layout: negative die geometry (cell %d nm, district %d cells)", c.CellNM, c.DistrictCells)
+	}
+	styles := c.Styles
+	if styles == nil {
+		styles = AllStyles()
+	}
+	if len(styles) == 0 {
+		return fmt.Errorf("layout: die needs at least one style")
+	}
+	for _, s := range styles {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateDie produces a full synthetic die: a CellsX×CellsY city of
+// independently drawn cells, styled per district. Each cell's geometry
+// comes from its own position-keyed RNG stream and cells are concatenated
+// in index order, so the die is bit-identical under any worker count.
+func GenerateDie(cfg DieConfig) (geom.Clip, error) {
+	if err := cfg.Validate(); err != nil {
+		return geom.Clip{}, err
+	}
+	styles := cfg.Styles
+	if styles == nil {
+		styles = AllStyles()
+	}
+	cellNM := cfg.CellNM
+	if cellNM == 0 {
+		cellNM = styles[0].ClipNM
+	}
+	district := cfg.DistrictCells
+	if district == 0 {
+		district = 2
+	}
+	frame := geom.R(0, 0, cfg.CellsX*cellNM, cfg.CellsY*cellNM)
+	cells, err := parallel.Map(parallel.New(cfg.Workers), cfg.CellsX*cfg.CellsY, func(_, i int) ([]geom.Rect, error) {
+		cx, cy := i%cfg.CellsX, i/cfg.CellsX
+		style := districtStyle(styles, cfg.Seed, cx/district, cy/district)
+		rng := rand.New(rand.NewSource(cfg.Seed + 0x5ca0 + int64(i)*0x9e3779b9))
+		rects := geom.MergeTouching(generateWindow(style, rng, cellNM))
+		dx, dy := cx*cellNM, cy*cellNM
+		for j, r := range rects {
+			rects[j] = r.Translate(dx, dy)
+		}
+		return rects, nil
+	})
+	if err != nil {
+		return geom.Clip{}, err
+	}
+	var all []geom.Rect
+	for _, rs := range cells {
+		all = append(all, rs...)
+	}
+	return geom.NewClip(frame, all), nil
+}
+
+// districtStyle picks the style of district (dx, dy) from its own keyed
+// stream, so neighbouring districts vary independently of the cell draws.
+func districtStyle(styles []Style, seed int64, dx, dy int) Style {
+	if len(styles) == 1 {
+		return styles[0]
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0xd157 + int64(dy)*0xf00d1 + int64(dx)*0x2b))
+	return styles[rng.Intn(len(styles))]
+}
+
+// Edit is one localized layout change: every rectangle lying entirely
+// inside Region is removed and Rects (each contained in Region) are drawn
+// in its place. Pixels outside Region are untouched — geometry that merely
+// crosses the region boundary is kept — which is what lets the scan engine
+// bound invalidation to the blocks Region overlaps.
+type Edit struct {
+	// Region is the replaced window, in die coordinates.
+	Region geom.Rect
+	// Rects is the replacement geometry; nil clears the region.
+	Rects []geom.Rect
+}
+
+// ApplyEdit returns the edited die and the dirty rectangle (the edit
+// region). Surviving rectangles keep their original order and replacements
+// are appended after them, so an incremental re-rasterization of the dirty
+// blocks sees the same rectangle sequence a cold rasterization of the
+// edited die does — the bit-identity contract of incremental re-scan
+// rests on exactly this.
+func ApplyEdit(die geom.Clip, e Edit) (geom.Clip, geom.Rect, error) {
+	if e.Region.Empty() {
+		return geom.Clip{}, geom.Rect{}, fmt.Errorf("layout: edit region %v is empty", e.Region)
+	}
+	if !die.Frame.ContainsRect(e.Region) {
+		return geom.Clip{}, geom.Rect{}, fmt.Errorf("layout: edit region %v outside die frame %v", e.Region, die.Frame)
+	}
+	for _, r := range e.Rects {
+		if !e.Region.ContainsRect(r.Canon()) {
+			return geom.Clip{}, geom.Rect{}, fmt.Errorf("layout: edit rect %v outside region %v", r, e.Region)
+		}
+	}
+	out := geom.Clip{Frame: die.Frame, Rects: make([]geom.Rect, 0, len(die.Rects)+len(e.Rects))}
+	for _, r := range die.Rects {
+		if !e.Region.ContainsRect(r) {
+			out.Rects = append(out.Rects, r)
+		}
+	}
+	for _, r := range e.Rects {
+		rc := r.Canon()
+		if !rc.Empty() {
+			out.Rects = append(out.Rects, rc)
+		}
+	}
+	return out, e.Region, nil
+}

@@ -158,6 +158,15 @@ func (cs *clipState) space() int {
 func Generate(style Style, rng *rand.Rand) geom.Clip {
 	win := style.WindowNM()
 	frame := geom.R(0, 0, win, win)
+	return geom.NewClip(frame, geom.MergeTouching(generateWindow(style, rng, win)))
+}
+
+// generateWindow draws one window's worth of routing-style geometry over
+// the square [0, win)² — the body of Generate, factored out so the die
+// generator can draw cell-sized windows at arbitrary city positions. The
+// rng draw sequence is exactly Generate's, so existing seeds reproduce the
+// same clips.
+func generateWindow(style Style, rng *rand.Rand, win int) []geom.Rect {
 	cs := &clipState{
 		style: style,
 		rng:   rng,
@@ -173,7 +182,7 @@ func Generate(style Style, rng *rand.Rand) geom.Clip {
 		rects = append(rects, genTrack(cs, pos, width, space, win, vertical)...)
 		pos += width + space
 	}
-	return geom.NewClip(frame, geom.MergeTouching(rects))
+	return rects
 }
 
 // genTrack draws one routing track occupying [pos, pos+width] across the

@@ -65,6 +65,24 @@ var bufSpecs = map[string]bufSpec{
 		anySlice: true,
 	},
 	"dct": {hot: func(name string) bool { return strings.HasSuffix(name, "Into") }},
+	// scan's per-tile and per-window bodies run once per die block / window
+	// over millions of windows on real designs; every buffer (block pixels,
+	// tensor scratch, the plane cache) is allocated at Scanner construction
+	// and any per-item make of any slice type is churn at scan rate.
+	"scan": {
+		hot: func(name string) bool {
+			switch name {
+			case "encodeRegion", "scoreRow", "assembleWindow":
+				return true
+			}
+			return false
+		},
+		anySlice: true,
+	},
+	// feature's EncodeInto is the shared per-block DCT kernel both the
+	// per-clip extractor and the scan cache drive; its scratch lives on the
+	// BlockEncoder.
+	"feature": {hot: func(name string) bool { return name == "EncodeInto" }},
 }
 
 func isSliceMake(pass *Pass, call *ast.CallExpr, anyElem bool) bool {

@@ -33,6 +33,8 @@ func TestBuflint(t *testing.T) {
 		"./testdata/src/buflint/fused",
 		"./testdata/src/buflint/serve",
 		"./testdata/src/buflint/dct",
+		"./testdata/src/buflint/scan",
+		"./testdata/src/buflint/feature",
 		"./testdata/src/buflint/other")
 }
 

@@ -1,0 +1,24 @@
+// Package feature is a buflint fixture for the shared block-DCT kernel:
+// EncodeInto runs once per block for every block of a scanned die, and
+// its scratch lives on the encoder. Constructors and the non-kernel
+// helpers stay legal, as does integer scratch (the rule covers floats).
+package feature
+
+type encoder struct {
+	coef []float64
+}
+
+func (e *encoder) EncodeInto(dst, block []float64) {
+	tmp := make([]float64, len(block)) // want "per-call make of a float slice in hot path feature.EncodeInto"
+	copy(tmp, block)
+	zig := make([]int, len(dst)) // int slice — the feature rule covers floats only: clean
+	_ = zig
+	if cap(e.coef) < len(block) {
+		e.coef = make([]float64, len(block)) // grow-once behind a cap guard: clean
+	}
+	copy(dst, e.coef)
+}
+
+func newEncoder(n int) *encoder {
+	return &encoder{coef: make([]float64, n)} // constructor: clean
+}

@@ -1,0 +1,46 @@
+package scan
+
+// mergeRegions groups hot windows into region proposals by 8-connected
+// component search over the window grid, BFS in row-major index order so
+// the output is deterministic. Overlapping hot windows one stride apart
+// are by construction 8-neighbours, so a contiguous hotspot area — which
+// the scanner sees as a run of overlapping hot windows — collapses into
+// one proposal instead of dozens of near-duplicate clips.
+func mergeRegions(hot []bool, probs []float64, wnx, wny int, s *Scanner) []Region {
+	var regions []Region
+	visited := make([]bool, len(hot))
+	var queue []int
+	for start := range hot {
+		if !hot[start] || visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		reg := Region{Rect: s.WindowRect(start%wnx, start/wnx), MaxProb: probs[start]}
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			reg.Windows++
+			wx, wy := w%wnx, w/wnx
+			reg.Rect = reg.Rect.Union(s.WindowRect(wx, wy))
+			if probs[w] > reg.MaxProb {
+				reg.MaxProb = probs[w]
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := wx+dx, wy+dy
+					if nx < 0 || ny < 0 || nx >= wnx || ny >= wny {
+						continue
+					}
+					ni := ny*wnx + nx
+					if hot[ni] && !visited[ni] {
+						visited[ni] = true
+						queue = append(queue, ni)
+					}
+				}
+			}
+		}
+		regions = append(regions, reg)
+	}
+	return regions
+}

@@ -1,0 +1,161 @@
+package scan
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// wideDie is a 3×1-cell city (3600×1200 nm, 25×1 windows): wide enough
+// that a localized edit leaves windows genuinely untouched.
+func wideDie(t *testing.T) geom.Clip {
+	t.Helper()
+	die, err := layout.GenerateDie(layout.DieConfig{CellsX: 3, CellsY: 1, CellNM: 1200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return die
+}
+
+// testEdit clears a 300×300 nm patch near the die centre and draws one
+// replacement wire — a localized change crossing block boundaries.
+func testEdit() layout.Edit {
+	return layout.Edit{
+		Region: geom.R(1000, 400, 1300, 700),
+		Rects:  []geom.Rect{geom.R(1040, 440, 1120, 660)},
+	}
+}
+
+// TestRescanMatchesColdScan is the incremental-correctness gate: after an
+// edit, Rescan's heat map must be bit-identical to a cold Scan of the
+// edited die — every probability, hot flag and region.
+func TestRescanMatchesColdScan(t *testing.T) {
+	net := testNet(t)
+	die := wideDie(t)
+	cfg := testConfig(4)
+	cfg.Shift = 0.5 // make regions non-trivial regardless of the weights
+
+	s, cold := mustScan(t, cfg, net, die)
+	inc, err := s.Rescan(testEdit())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edited, _, err := layout.ApplyEdit(die, testEdit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := mustScan(t, cfg, net, edited)
+
+	for i := range want.Probs {
+		if inc.Probs[i] != want.Probs[i] {
+			t.Fatalf("window %d: rescan %v, cold scan of edited die %v", i, inc.Probs[i], want.Probs[i])
+		}
+		if inc.Hot[i] != want.Hot[i] {
+			t.Fatalf("window %d: rescan hot=%v, cold hot=%v", i, inc.Hot[i], want.Hot[i])
+		}
+	}
+	if len(inc.Regions) != len(want.Regions) {
+		t.Fatalf("rescan %d regions, cold %d", len(inc.Regions), len(want.Regions))
+	}
+	for i := range want.Regions {
+		if inc.Regions[i] != want.Regions[i] {
+			t.Fatalf("region %d: rescan %+v, cold %+v", i, inc.Regions[i], want.Regions[i])
+		}
+	}
+
+	// The edit region spans blocks [10,13)×[4,7): 9 dirty blocks out of
+	// 288, and only windows gathering one of them re-scored.
+	if inc.Stats.DirtyBlocks != 9 {
+		t.Fatalf("DirtyBlocks %d, want 9", inc.Stats.DirtyBlocks)
+	}
+	if inc.Stats.BlockDCTs != 9 {
+		t.Fatalf("rescan BlockDCTs %d, want 9 (dirty only)", inc.Stats.BlockDCTs)
+	}
+	if inc.Stats.Windows >= cold.Stats.Windows {
+		t.Fatalf("rescan re-scored %d windows, cold scored %d", inc.Stats.Windows, cold.Stats.Windows)
+	}
+
+	// Sanity: the edit actually changed some probabilities (the replacement
+	// geometry differs from what was cleared).
+	changed := false
+	for i := range cold.Probs {
+		if cold.Probs[i] != want.Probs[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("edit left every window probability unchanged; test is vacuous")
+	}
+}
+
+// TestRescanRepeatIdempotent re-applies the same edit and expects the
+// identical result — the property the benchmark's timed repetitions use.
+func TestRescanRepeatIdempotent(t *testing.T) {
+	net := testNet(t)
+	die := testDie(t)
+	s, _ := mustScan(t, testConfig(2), net, die)
+	first, err := s.Rescan(testEdit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again, err := s.Rescan(testEdit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.Probs {
+			if again.Probs[i] != first.Probs[i] {
+				t.Fatalf("rep %d window %d: %v, want %v", rep, i, again.Probs[i], first.Probs[i])
+			}
+		}
+	}
+}
+
+// TestRescanEdgeRegion dirties the die corner, exercising the clamped
+// dirty-block and affected-window ranges.
+func TestRescanEdgeRegion(t *testing.T) {
+	net := testNet(t)
+	die := testDie(t)
+	s, _ := mustScan(t, testConfig(3), net, die)
+	edge := layout.Edit{Region: geom.R(0, 0, 150, 150)}
+	inc, err := s.Rescan(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, _, err := layout.ApplyEdit(die, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := mustScan(t, testConfig(3), net, edited)
+	for i := range want.Probs {
+		if inc.Probs[i] != want.Probs[i] {
+			t.Fatalf("window %d: rescan %v, cold %v", i, inc.Probs[i], want.Probs[i])
+		}
+	}
+	// Corner region touches blocks [0,2)² → only the windows whose 12-block
+	// span reaches them: wx in [0, 1], wy = 0.
+	if inc.Stats.DirtyBlocks != 4 || inc.Stats.Windows != 2 {
+		t.Fatalf("stats %+v, want 4 dirty blocks and 2 windows", inc.Stats)
+	}
+}
+
+func TestRescanBeforeScan(t *testing.T) {
+	s, err := New(testConfig(0), testNet(t), testDie(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rescan(testEdit()); err == nil {
+		t.Fatal("expected error for Rescan before Scan")
+	}
+}
+
+func TestRescanBadEdit(t *testing.T) {
+	net := testNet(t)
+	s, _ := mustScan(t, testConfig(0), net, testDie(t))
+	if _, err := s.Rescan(layout.Edit{Region: geom.R(2000, 1000, 3000, 2000)}); err == nil {
+		t.Fatal("expected error for edit outside the die")
+	}
+}

@@ -195,6 +195,36 @@ func (e *Evaluator) ensureFusedFor(x *tensor.Tensor) {
 	_ = e.EnsureFused(x.Shape()) //hsd:cold engine compilation runs once per model reload or input-shape change, not per sample
 }
 
+// Prepare re-syncs the worker replicas from the wrapped network and
+// (lazily, fusable networks only) compiles fused engines for inputs of
+// inShape. Callers that drive their own fan-out over PredictOn — the
+// full-layout scan engine scores millions of windows without
+// materializing a []*tensor.Tensor batch — call it once per pass, exactly
+// the work EvalSet and PredictProbs do at the top of every call.
+func (e *Evaluator) Prepare(inShape []int) error {
+	if err := e.sync(); err != nil {
+		return err
+	}
+	if e.fusedOff || e.fusedErr {
+		return nil
+	}
+	// Compilation failure is not an error: unfusable networks keep the
+	// always-correct layered path (Prepare itself is never hot-reachable —
+	// it runs on the orchestrating goroutine before a pass fans out).
+	_ = e.EnsureFused(inShape)
+	return nil
+}
+
+// PredictOn scores one sample on worker w's replica (w in [0, Workers())).
+// The caller owns the fan-out: each worker index must be used by at most
+// one goroutine at a time, and Prepare must have run since the wrapped
+// network's weights last changed. Probabilities are bit-identical to
+// PredictProbs over the same inputs.
+//hsd:hotpath
+func (e *Evaluator) PredictOn(worker int, x *tensor.Tensor) (float64, error) {
+	return e.predictOn(worker, x)
+}
+
 // predictOn scores one sample on worker w's replica: the fused engine when
 // one is compiled and the shape matches, the layer-by-layer network
 // otherwise. The two paths are bit-identical (fused parity contract), so

@@ -19,6 +19,11 @@
 #   7. scripts/trainsmoke    hsd-train observability smoke: tiny suite,
 #                            -telemetry JSONL (manifest/epoch/result) and
 #                            -metrics-out stage summaries parse and assert
+#   8. scripts/scansmoke     hsd-scan full-layout smoke: tiny die, shifted
+#                            boundary, asserts region merge, one-DCT-per-
+#                            block accounting, the exact cache hit rate,
+#                            incremental re-scan dirty counts and the
+#                            hsd_scan_* metrics series
 #
 # Usage: scripts/check.sh [-short|-lint-only]
 #   -short      pass -short to go test (skips the slow experiment suites)
@@ -62,5 +67,8 @@ go run ./scripts/smoke
 
 echo "==> hsd-train smoke"
 go run ./scripts/trainsmoke
+
+echo "==> hsd-scan smoke"
+go run ./scripts/scansmoke
 
 echo "check gate: all legs green"
