@@ -1,0 +1,319 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"hotspot/internal/active"
+	"hotspot/internal/feature"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/litho"
+	"hotspot/internal/nn"
+	"hotspot/internal/nn/fused"
+	"hotspot/internal/obs"
+	"hotspot/internal/parallel"
+	"hotspot/internal/train"
+)
+
+// The -exp active suite benchmarks the batch active-learning loop. Before
+// any timing it gates on the loop's determinism contract: a full run with
+// -workers 1 and one with 8 must produce bit-identical selected-clip
+// sequences and final weight checksums, or the run fails. It then times
+// the selection stage (score + hybrid k-center pick over the pool) and
+// runs the loop head-to-head against the random baseline, reporting the
+// rounds each needs to first reach the target held-out accuracy. Results
+// go to -active-out as JSON (BENCH_active.json is the checked-in record).
+
+// activeArm times the selection stage at one worker count.
+type activeArm struct {
+	// NsSelect is the mean wall time of one score+select pass.
+	NsSelect float64 `json:"ns_select"`
+	// NsPerClip divides by the pool clips scored per pass.
+	NsPerClip float64 `json:"ns_per_clip"`
+	// ClipsPerSec is the selection-stage throughput.
+	ClipsPerSec float64 `json:"clips_per_sec"`
+	// Workers is the worker count of this arm.
+	Workers int `json:"workers"`
+	// Reps is the repetition count timed.
+	Reps int `json:"reps"`
+}
+
+// activeReport is the -active-out JSON document.
+type activeReport struct {
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	NumCPU  int    `json:"num_cpu"`
+	Kernel  string `json:"kernel"`
+	Workers int    `json:"workers"`
+
+	Pool   int `json:"pool"`
+	Eval   int `json:"eval"`
+	Batch  int `json:"batch"`
+	Rounds int `json:"rounds"`
+	Iters  int `json:"iters"`
+
+	// ParityChecksum is the weight checksum both gated worker counts
+	// reproduced bit for bit.
+	ParityChecksum string `json:"parity_checksum"`
+
+	Select1 activeArm `json:"select_workers1"`
+	SelectN activeArm `json:"select_workersN"`
+
+	// TargetAccuracy and the first 1-based round each strategy reached it
+	// (0 = never within Rounds). Both strategies run the same pool, seed
+	// and fine-tune schedule.
+	TargetAccuracy float64 `json:"target_accuracy"`
+	ActiveRounds   int     `json:"active_rounds_to_target"`
+	RandomRounds   int     `json:"random_rounds_to_target"`
+	ActiveFinalAcc float64 `json:"active_final_accuracy"`
+	RandomFinalAcc float64 `json:"random_final_accuracy"`
+}
+
+// newClipRNG keys one clip's generation stream by its global index — the
+// suite-generation construction, worker-count independent by design.
+func newClipRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(i)*0x9e3779b9))
+}
+
+// activeBenchPool generates and pre-labels the shared pool and eval set so
+// every arm reuses one litho pass.
+func activeBenchPool(seed int64, poolN, evalN, workers int, fcfg feature.TensorConfig) (*active.Pool, []bool, []train.Sample, error) {
+	style, err := layout.StyleByName("ICCAD")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	clips := make([]geom.Clip, poolN+evalN)
+	for i := range clips {
+		rng := newClipRNG(seed, i)
+		clips[i] = layout.Generate(style, rng)
+	}
+	labeler, err := layout.NewLabeler(style, litho.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	truth, err := parallel.Map(parallel.New(workers), len(clips), func(_, i int) (bool, error) {
+		rep, err := labeler.Label(clips[i])
+		if err != nil {
+			return false, err
+		}
+		return rep.Hotspot, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	core := style.CoreRect()
+	pool, err := active.NewPool(clips[:poolN], core, fcfg, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	evalT, err := feature.ExtractTensors(clips[poolN:], core, fcfg, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	evalSet := make([]train.Sample, evalN)
+	for i := range evalSet {
+		evalSet[i] = train.Sample{X: evalT[i], Hotspot: truth[poolN+i]}
+	}
+	return pool, truth, evalSet, nil
+}
+
+// runActiveLoop drives one full loop on a fresh net and returns the
+// reports plus the final weight checksum.
+func runActiveLoop(pool *active.Pool, truth []bool, evalSet []train.Sample, fcfg feature.TensorConfig, strategy string, rounds, batch, iters, workers int, seed int64) ([]active.RoundReport, uint64, error) {
+	ncfg := nn.DefaultPaperNetConfig()
+	ncfg.InChannels = fcfg.K
+	ncfg.SpatialSize = fcfg.Blocks
+	ncfg.Seed = seed + 32
+	net, err := nn.NewPaperNet(ncfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	tune := active.DefaultTune()
+	tune.Initial.MaxIters = iters
+	if iters >= 2 {
+		tune.Initial.DecayStep = iters / 2
+	}
+	loop, err := active.NewLoop(active.Config{
+		Rounds:   rounds,
+		Batch:    batch,
+		Strategy: strategy,
+		Seed:     seed,
+		Workers:  workers,
+		Tune:     tune,
+	}, net, pool, func(i int, _ geom.Clip) (bool, error) {
+		return truth[i], nil
+	}, evalSet)
+	if err != nil {
+		return nil, 0, err
+	}
+	reports, err := loop.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	return reports, active.WeightChecksum(net), nil
+}
+
+// timeActiveSelect times the score+select stage over the full pool.
+func timeActiveSelect(pool *active.Pool, net *nn.Network, fcfg feature.TensorConfig, batch, workers, reps int, seed int64) (activeArm, error) {
+	ev, err := train.NewEvaluator(net, workers)
+	if err != nil {
+		return activeArm{}, err
+	}
+	if err := ev.Prepare([]int{fcfg.K, fcfg.Blocks, fcfg.Blocks}); err != nil {
+		return activeArm{}, err
+	}
+	unlabeled := make([]int, len(pool.Tensors))
+	for i := range unlabeled {
+		unlabeled[i] = i
+	}
+	watch := obs.NewStopwatch()
+	for r := 0; r < reps; r++ {
+		probs, err := ev.PredictProbs(pool.Tensors)
+		if err != nil {
+			return activeArm{}, err
+		}
+		if _, err := active.SelectHybrid(pool.Tensors, probs, unlabeled, batch, 0, uint64(seed)+uint64(r), workers); err != nil {
+			return activeArm{}, err
+		}
+	}
+	elapsed := watch.Elapsed()
+	ops := float64(reps)
+	clips := float64(len(pool.Tensors))
+	ns := float64(elapsed.Nanoseconds())
+	return activeArm{
+		NsSelect:    ns / ops,
+		NsPerClip:   ns / (ops * clips),
+		ClipsPerSec: clips * ops / elapsed.Seconds(),
+		Workers:     parallel.Workers(workers),
+		Reps:        reps,
+	}, nil
+}
+
+// firstRoundAtAccuracy returns the 1-based round first reaching target
+// accuracy, or 0 if none does.
+func firstRoundAtAccuracy(reports []active.RoundReport, target float64) int {
+	for _, rep := range reports {
+		if rep.Labeled > 0 && rep.Eval.Accuracy >= target {
+			return rep.Round + 1
+		}
+	}
+	return 0
+}
+
+// finalAccuracy returns the last evaluated accuracy of a run.
+func finalAccuracy(reports []active.RoundReport) float64 {
+	acc := 0.0
+	for _, rep := range reports {
+		if rep.Labeled > 0 {
+			acc = rep.Eval.Accuracy
+		}
+	}
+	return acc
+}
+
+// runActive executes the suite and writes the JSON report to outPath.
+func runActive(outPath string, poolN, evalN, batch, rounds, iters, reps int, target float64, seed int64, workers int) error {
+	if reps <= 0 {
+		reps = 1
+	}
+	fcfg := feature.DefaultTensorConfig()
+	total := obs.NewStopwatch()
+	pool, truth, evalSet, err := activeBenchPool(seed, poolN, evalN, workers, fcfg)
+	if err != nil {
+		return err
+	}
+
+	// Parity gate before any timing: full loops at workers 1 and 8 must
+	// agree on every selected clip and on the final weight bits.
+	rep1, sum1, err := runActiveLoop(pool, truth, evalSet, fcfg, active.StrategyHybrid, rounds, batch, iters, 1, seed)
+	if err != nil {
+		return err
+	}
+	repN, sumN, err := runActiveLoop(pool, truth, evalSet, fcfg, active.StrategyHybrid, rounds, batch, iters, 8, seed)
+	if err != nil {
+		return err
+	}
+	if len(rep1) != len(repN) {
+		return fmt.Errorf("active: PARITY FAILURE: %d rounds at workers=1 vs %d at workers=8", len(rep1), len(repN))
+	}
+	for r := range rep1 {
+		a, b := rep1[r].Selected, repN[r].Selected
+		if len(a) != len(b) {
+			return fmt.Errorf("active: PARITY FAILURE round %d: %d selected vs %d", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return fmt.Errorf("active: PARITY FAILURE round %d pick %d: clip %d vs %d", r, i, a[i], b[i])
+			}
+		}
+	}
+	if sum1 != sumN {
+		return fmt.Errorf("active: PARITY FAILURE: weight checksum %016x at workers=1 vs %016x at workers=8", sum1, sumN)
+	}
+	fmt.Printf("parity: ok (%d rounds selected identically, weight checksum %016x)\n", len(rep1), sum1)
+
+	out := activeReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Kernel: fused.Vectorized(), Workers: parallel.Workers(workers),
+		Pool: poolN, Eval: evalN, Batch: batch, Rounds: rounds, Iters: iters,
+		ParityChecksum: fmt.Sprintf("%016x", sum1),
+		TargetAccuracy: target,
+	}
+
+	// Selection-stage throughput at 1 and N workers on a fresh net.
+	ncfg := nn.DefaultPaperNetConfig()
+	ncfg.InChannels = fcfg.K
+	ncfg.SpatialSize = fcfg.Blocks
+	ncfg.Seed = seed + 32
+	net, err := nn.NewPaperNet(ncfg)
+	if err != nil {
+		return err
+	}
+	if out.Select1, err = timeActiveSelect(pool, net, fcfg, batch, 1, reps, seed); err != nil {
+		return err
+	}
+	if out.SelectN, err = timeActiveSelect(pool, net, fcfg, batch, workers, reps, seed); err != nil {
+		return err
+	}
+
+	// Rounds-to-target head-to-head: the parity run already produced the
+	// active trajectory; the baseline reruns with random selection only.
+	repRand, _, err := runActiveLoop(pool, truth, evalSet, fcfg, active.StrategyRandom, rounds, batch, iters, workers, seed)
+	if err != nil {
+		return err
+	}
+	out.ActiveRounds = firstRoundAtAccuracy(rep1, target)
+	out.RandomRounds = firstRoundAtAccuracy(repRand, target)
+	out.ActiveFinalAcc = finalAccuracy(rep1)
+	out.RandomFinalAcc = finalAccuracy(repRand)
+
+	fmt.Printf("pool %d clips, eval %d, batch %d, %d rounds, %d iters/round (timed in %v)\n",
+		poolN, evalN, batch, rounds, iters, total.Elapsed().Round(time.Millisecond))
+	fmt.Printf("select  workers=1  %12.0f ns/pass %8.0f ns/clip %10.0f clips/s\n",
+		out.Select1.NsSelect, out.Select1.NsPerClip, out.Select1.ClipsPerSec)
+	fmt.Printf("select  workers=%-2d %12.0f ns/pass %8.0f ns/clip %10.0f clips/s\n",
+		out.SelectN.Workers, out.SelectN.NsSelect, out.SelectN.NsPerClip, out.SelectN.ClipsPerSec)
+	fmt.Printf("rounds to %.0f%% accuracy: active %s, random %s (final %.1f%% vs %.1f%%)\n",
+		100*target, fmtReached(out.ActiveRounds), fmtReached(out.RandomRounds),
+		100*out.ActiveFinalAcc, 100*out.RandomFinalAcc)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+// fmtReached renders a 1-based rounds-to-target count (0 = never).
+func fmtReached(n int) string {
+	if n == 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", n)
+}

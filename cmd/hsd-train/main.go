@@ -6,6 +6,11 @@
 //	hsd-gen -bench ICCAD -scale 0.02 -out iccad.gob
 //	hsd-train -data iccad.gob -out model.gob -iters 2400
 //	hsd-train -data iccad.gob -out model.gob -telemetry train.jsonl -metrics-out metrics.txt
+//	hsd-train -data iccad.gob -init model.gob -out tuned.gob -rounds 1
+//
+// -init warm-starts from a saved checkpoint (shape-validated against the
+// configured feature geometry) instead of fresh weights, so one fine-tune
+// entry point serves both users and the hsd-active loop.
 //
 // With -telemetry the run emits structured JSONL: one "manifest" event
 // (config, seed, worker count), one "epoch" event per validation
@@ -38,6 +43,7 @@ func main() {
 	var (
 		data       = flag.String("data", "", "suite file written by hsd-gen (required)")
 		out        = flag.String("out", "model.gob", "output model file")
+		initPath   = flag.String("init", "", "warm-start checkpoint: resume training from this saved model instead of fresh weights")
 		iters      = flag.Int("iters", 0, "override initial-round MGD iterations")
 		rounds     = flag.Int("rounds", 0, "override biased-learning rounds t")
 		lr         = flag.Float64("lr", 0, "override initial learning rate λ")
@@ -109,6 +115,7 @@ func main() {
 		"max_iters":     cfg.Biased.Initial.MaxIters,
 		"batch_size":    cfg.Biased.Initial.BatchSize,
 		"learning_rate": cfg.Biased.Initial.LearningRate,
+		"init":          *initPath,
 	})
 	if tlog != nil {
 		cfg.OnEpoch = func(round int, eps float64, e train.EpochEvent) {
@@ -127,9 +134,29 @@ func main() {
 			})
 		}
 	}
-	det, err := core.NewDetector(cfg)
-	if err != nil {
-		log.Fatal(err)
+	var det *core.Detector
+	if *initPath != "" {
+		// Warm start: resume from a saved checkpoint via the shared
+		// train.LoadWarmStart entry point (shape-validated against the
+		// configured feature geometry) instead of fresh weights.
+		cf, err := os.Open(*initPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err = core.LoadDetector(cf, cfg)
+		if cerr := cf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("warm start from %s\n", *initPath)
+	} else {
+		var err error
+		det, err = core.NewDetector(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	report, err := det.Train(ds.Train, ds.Core())

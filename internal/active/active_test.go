@@ -1,0 +1,363 @@
+package active
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/nn"
+	"hotspot/internal/obs"
+	"hotspot/internal/train"
+)
+
+// testNet builds the tiny PaperNet the loop tests fine-tune: 2 input
+// channels over a 4×4 grid, so feature tensors are shaped [2 4 4].
+func testNet(t *testing.T) *nn.Network {
+	t.Helper()
+	net, err := nn.NewPaperNet(nn.PaperNetConfig{
+		InChannels:  2,
+		SpatialSize: 4,
+		Conv1Maps:   2,
+		Conv2Maps:   2,
+		FC1:         4,
+		DropoutRate: 0.5,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// testPool builds a pool of n zero-geometry clips with synthetic cached
+// feature tensors — the loop never rasterizes, so the clips are inert.
+func testPool(n int) *Pool {
+	return &Pool{
+		Clips:   make([]geom.Clip, n),
+		Tensors: synthTensors(n, 2, 4, 4),
+	}
+}
+
+// testLabeler labels pool clip i by index: every third clip is a hotspot.
+func testLabeler(i int, _ geom.Clip) (bool, error) {
+	return i%3 == 0, nil
+}
+
+// testEvalSet builds a small held-out labeled set matching the net input.
+func testEvalSet(n int) []train.Sample {
+	ts := synthTensors(n, 2, 4, 4)
+	out := make([]train.Sample, n)
+	for i := range out {
+		out[i] = train.Sample{X: ts[i], Hotspot: i%2 == 0}
+	}
+	return out
+}
+
+// testTune is a short fine-tune schedule keeping loop tests fast.
+func testTune() train.BiasedConfig {
+	return train.BiasedConfig{
+		InitialEps: 0.1,
+		Rounds:     1,
+		Initial: train.MGDConfig{
+			LearningRate:   0.01,
+			DecayFactor:    0.5,
+			DecayStep:      20,
+			BatchSize:      4,
+			MaxIters:       30,
+			BalanceClasses: true,
+			Seed:           11,
+		},
+	}
+}
+
+// runLoop runs a fresh loop over a shared pool with the given worker count
+// and returns the per-round reports plus the final weight checksum.
+func runLoop(t *testing.T, pool *Pool, cfg Config) ([]RoundReport, uint64) {
+	t.Helper()
+	net := testNet(t)
+	loop, err := NewLoop(cfg, net, pool, testLabeler, testEvalSet(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports, WeightChecksum(net)
+}
+
+// TestLoopWorkerParity is the acceptance gate: for a fixed seed, pool and
+// budget, the selected clip sequences and the final trained weights are
+// bit-identical under worker counts 1, 4 and 8.
+func TestLoopWorkerParity(t *testing.T) {
+	pool := testPool(20)
+	base := Config{
+		Rounds: 2,
+		Batch:  4,
+		Seed:   7,
+		Tune:   testTune(),
+	}
+	cfg := base
+	cfg.Workers = 1
+	wantReports, wantSum := runLoop(t, pool, cfg)
+	if len(wantReports) != 2 {
+		t.Fatalf("ran %d rounds, want 2", len(wantReports))
+	}
+	for _, workers := range []int{4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		gotReports, gotSum := runLoop(t, pool, cfg)
+		if len(gotReports) != len(wantReports) {
+			t.Fatalf("workers=%d ran %d rounds, workers=1 ran %d", workers, len(gotReports), len(wantReports))
+		}
+		for r := range wantReports {
+			if !equalInts(gotReports[r].Selected, wantReports[r].Selected) {
+				t.Fatalf("workers=%d round %d selected %v, workers=1 selected %v",
+					workers, r, gotReports[r].Selected, wantReports[r].Selected)
+			}
+		}
+		if gotSum != wantSum {
+			t.Fatalf("workers=%d final weight checksum %#x, workers=1 %#x", workers, gotSum, wantSum)
+		}
+	}
+}
+
+// TestLoopScoringParity pins serial≡parallel pool scoring directly: the
+// per-clip probabilities that feed selection are bit-identical for
+// workers 1 vs 8.
+func TestLoopScoringParity(t *testing.T) {
+	net := testNet(t)
+	xs := synthTensors(32, 2, 4, 4)
+	ev1, err := train.NewEvaluator(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev8, err := train.NewEvaluator(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ev1.PredictProbs(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := ev8.PredictProbs(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if math.Float64bits(p1[i]) != math.Float64bits(p8[i]) {
+			t.Fatalf("clip %d: p(workers=1) = %v, p(workers=8) = %v", i, p1[i], p8[i])
+		}
+	}
+}
+
+// TestLoopBudgetTruncation: a 25 s budget at 10 s/clip affords two labels
+// of the first 4-clip batch; the third charge is refused mid-batch, the
+// round reports Truncated, and the loop stops without spending further.
+func TestLoopBudgetTruncation(t *testing.T) {
+	pool := testPool(24)
+	reports, _ := runLoop(t, pool, Config{
+		Rounds:        3,
+		Batch:         4,
+		LabelSeconds:  10,
+		BudgetSeconds: 25,
+		Seed:          5,
+		Workers:       2,
+		Tune:          testTune(),
+	})
+	if len(reports) != 1 {
+		t.Fatalf("ran %d rounds, want truncation to stop the loop after 1", len(reports))
+	}
+	rep := reports[0]
+	if !rep.Truncated {
+		t.Fatal("round not marked truncated")
+	}
+	if rep.Labeled != 2 {
+		t.Fatalf("labeled %d clips, want 2 (25 s budget at 10 s/clip)", rep.Labeled)
+	}
+	if len(rep.Selected) != 4 {
+		t.Fatalf("selected %d, want the full batch of 4", len(rep.Selected))
+	}
+	if rep.BudgetSpent != 20 {
+		t.Fatalf("budget spent %v, want 20 (the refused clip must cost nothing)", rep.BudgetSpent)
+	}
+	if rep.BudgetRemaining != 5 {
+		t.Fatalf("budget remaining %v, want 5", rep.BudgetRemaining)
+	}
+}
+
+// TestLoopUnlimitedBudgetReporting: with no budget the reports render the
+// remainder as -1 (JSON has no +Inf) and nothing truncates.
+func TestLoopUnlimitedBudgetReporting(t *testing.T) {
+	pool := testPool(10)
+	reports, _ := runLoop(t, pool, Config{
+		Rounds:  1,
+		Batch:   3,
+		Seed:    2,
+		Workers: 2,
+		Tune:    testTune(),
+	})
+	rep := reports[0]
+	if rep.Truncated {
+		t.Fatal("unlimited budget truncated")
+	}
+	if rep.BudgetRemaining != -1 {
+		t.Fatalf("budget remaining %v, want -1 for unlimited", rep.BudgetRemaining)
+	}
+	if rep.BudgetSpent != 3*10.0 {
+		t.Fatalf("budget spent %v, want 30 (3 clips at the default 10 s)", rep.BudgetSpent)
+	}
+}
+
+// TestLoopRandomStrategy: the baseline runs without scoring, labels whole
+// batches, and drains the pool across rounds without repeats.
+func TestLoopRandomStrategy(t *testing.T) {
+	pool := testPool(12)
+	net := testNet(t)
+	loop, err := NewLoop(Config{
+		Rounds:   3,
+		Batch:    4,
+		Strategy: StrategyRandom,
+		Seed:     9,
+		Workers:  2,
+		Tune:     testTune(),
+	}, net, pool, testLabeler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("ran %d rounds, want 3", len(reports))
+	}
+	seen := make(map[int]bool)
+	for _, rep := range reports {
+		if rep.Labeled != 4 {
+			t.Fatalf("round %d labeled %d, want 4", rep.Round, rep.Labeled)
+		}
+		for _, pi := range rep.Selected {
+			if seen[pi] {
+				t.Fatalf("pool clip %d selected twice", pi)
+			}
+			seen[pi] = true
+		}
+	}
+	if len(loop.Labeled()) != 12 {
+		t.Fatalf("labeled %d samples total, want the whole pool (12)", len(loop.Labeled()))
+	}
+}
+
+// TestLoopEventLog: the JSONL stream parses line by line and carries the
+// manifest, one record per round, and the final result.
+func TestLoopEventLog(t *testing.T) {
+	var buf bytes.Buffer
+	pool := testPool(10)
+	net := testNet(t)
+	loop, err := NewLoop(Config{
+		Rounds:  2,
+		Batch:   3,
+		Seed:    4,
+		Workers: 2,
+		Tune:    testTune(),
+		Log:     obs.NewEventLog(&buf),
+	}, net, pool, testLabeler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("unparseable event line %q: %v", sc.Text(), err)
+		}
+		ev, _ := rec["event"].(string)
+		events = append(events, ev)
+	}
+	want := []string{"manifest", "round", "round", "result"}
+	if len(events) != len(want) {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events %v, want %v", events, want)
+		}
+	}
+}
+
+// TestConfigValidate: the loop rejects configurations it cannot honor.
+func TestConfigValidate(t *testing.T) {
+	good := Config{Rounds: 1, Batch: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no rounds", func(c *Config) { c.Rounds = 0 }},
+		{"no batch", func(c *Config) { c.Batch = 0 }},
+		{"negative candidates", func(c *Config) { c.Candidates = -1 }},
+		{"unknown strategy", func(c *Config) { c.Strategy = "entropy" }},
+		{"negative budget", func(c *Config) { c.BudgetSeconds = -1 }},
+		{"negative label cost", func(c *Config) { c.LabelSeconds = -1 }},
+		{"validation stopping", func(c *Config) {
+			c.Tune = testTune()
+			c.Tune.Initial.ValEvery = 10
+		}},
+		{"keep best", func(c *Config) {
+			c.Tune = testTune()
+			c.Tune.KeepBest = true
+		}},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestNewLoopErrors: structural problems surface at construction.
+func TestNewLoopErrors(t *testing.T) {
+	cfg := Config{Rounds: 1, Batch: 1, Tune: testTune()}
+	net := testNet(t)
+	if _, err := NewLoop(cfg, net, &Pool{}, testLabeler, nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+	pool := testPool(4)
+	if _, err := NewLoop(cfg, net, pool, nil, nil); err == nil {
+		t.Error("nil labeler accepted")
+	}
+	short := &Pool{Clips: pool.Clips, Tensors: pool.Tensors[:2]}
+	if _, err := NewLoop(cfg, net, short, testLabeler, nil); err == nil {
+		t.Error("clip/tensor length mismatch accepted")
+	}
+}
+
+// TestWeightChecksum: clones hash identically; a one-bit weight change
+// changes the fingerprint.
+func TestWeightChecksum(t *testing.T) {
+	net := testNet(t)
+	clone, err := net.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WeightChecksum(net) != WeightChecksum(clone) {
+		t.Fatal("clone checksum differs")
+	}
+	before := WeightChecksum(net)
+	net.Params()[0].W.Data()[0] += 0.125
+	if WeightChecksum(net) == before {
+		t.Fatal("weight perturbation left the checksum unchanged")
+	}
+}

@@ -299,17 +299,17 @@ func (d *Detector) EvaluateTensors(samples []train.Sample, shift float64) (train
 func (d *Detector) Save(w io.Writer) error { return d.net.Save(w) }
 
 // LoadDetector restores a detector from a saved network and its config.
+// Loading goes through train.LoadWarmStart, the shared warm-start entry
+// point, which validates the checkpoint against the configured feature
+// geometry; the restored detector is equally fit for serving and for
+// continued training (hsd-train -init, the active-learning loop).
 func LoadDetector(r io.Reader, cfg Config) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	net, err := nn.Load(r)
+	net, err := train.LoadWarmStart(r, []int{cfg.Feature.K, cfg.Feature.Blocks, cfg.Feature.Blocks})
 	if err != nil {
-		return nil, err
-	}
-	// Sanity-check the loaded network against the configured input shape.
-	if _, err := net.Summary([]int{cfg.Feature.K, cfg.Feature.Blocks, cfg.Feature.Blocks}); err != nil {
-		return nil, fmt.Errorf("core: loaded network incompatible with config: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Detector{cfg: cfg, net: net}, nil
 }

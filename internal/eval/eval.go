@@ -8,12 +8,17 @@ package eval
 import (
 	"fmt"
 	"time"
+
+	"hotspot/internal/litho"
 )
 
 // SimSecondsPerClip is the per-clip lithography simulation time the paper
 // charges when computing ODST (≈10 s per instance, from the ICCAD 2013
-// industrial simulator it cites).
-const SimSecondsPerClip = 10.0
+// industrial simulator it cites). The value is no longer a free-standing
+// prose constant: it is litho's explicit cost model — the default
+// five-corner process at litho.ODSTSecondsPerCorner per corner — so Table
+// 2 accounting and the active-learning label budget charge the same price.
+var SimSecondsPerClip = litho.DefaultLabelCost()
 
 // Result is one Table 2 cell group: a detector's performance on one
 // benchmark.

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestActiveCurveSmall runs a miniature accuracy-vs-budget sweep and
+// checks the structural contract: one point per budget, label counts
+// matching budget/cost, and a renderable table.
+func TestActiveCurveSmall(t *testing.T) {
+	res, table, err := ActiveCurve(ActiveCurveConfig{
+		Pool:    16,
+		Eval:    8,
+		Batch:   3,
+		Budgets: []float64{30, 60},
+		Iters:   40,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if res.Points[0].Labels != 3 || res.Points[1].Labels != 6 {
+		t.Fatalf("label counts %d/%d, want 3/6 (budget ÷ 10 s)",
+			res.Points[0].Labels, res.Points[1].Labels)
+	}
+	for _, want := range []string{"accuracy vs label budget", "active acc/recall", "random acc/recall"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

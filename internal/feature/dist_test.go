@@ -1,0 +1,48 @@
+package feature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSqDist(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 2, 1}
+	d, err := SqDist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 13 {
+		t.Fatalf("SqDist = %v, want 13", d)
+	}
+	if d, err = SqDist(a, a); err != nil || d != 0 {
+		t.Fatalf("self distance = %v, %v; want 0, nil", d, err)
+	}
+	if _, err = SqDist(a, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestSqDistOrderExact pins the sequential index-order accumulation: the
+// result must be the exact fold-left sum, the contract that makes the
+// parallel k-center selector bit-identical to the serial one.
+func TestSqDistOrderExact(t *testing.T) {
+	a := make([]float64, 257)
+	b := make([]float64, 257)
+	for i := range a {
+		a[i] = math.Sqrt(float64(i) + 0.1)
+		b[i] = math.Cbrt(float64(i) * 1.7)
+	}
+	want := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		want += d * d
+	}
+	got, err := SqDist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("SqDist = %v, want exact fold-left sum %v", got, want)
+	}
+}

@@ -81,8 +81,19 @@ var bufSpecs = map[string]bufSpec{
 	},
 	// feature's EncodeInto is the shared per-block DCT kernel both the
 	// per-clip extractor and the scan cache drive; its scratch lives on the
-	// BlockEncoder.
-	"feature": {hot: func(name string) bool { return name == "EncodeInto" }},
+	// BlockEncoder. SqDist is the active selector's pairwise-distance
+	// kernel, called once per (candidate, center) pair per k-center step —
+	// it takes raw slices precisely so it allocates nothing.
+	"feature": {hot: func(name string) bool { return name == "EncodeInto" || name == "SqDist" }},
+	// active's updateMinDist is the k-center inner loop, run once per
+	// (candidate, center) pair per selection round as a parallel worker
+	// body; candidate scratch lives on the selector and is reused across
+	// rounds, so any per-call make of any slice type is churn at
+	// selection rate.
+	"active": {
+		hot:      func(name string) bool { return name == "updateMinDist" },
+		anySlice: true,
+	},
 }
 
 func isSliceMake(pass *Pass, call *ast.CallExpr, anyElem bool) bool {

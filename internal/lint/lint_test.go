@@ -35,6 +35,7 @@ func TestBuflint(t *testing.T) {
 		"./testdata/src/buflint/dct",
 		"./testdata/src/buflint/scan",
 		"./testdata/src/buflint/feature",
+		"./testdata/src/buflint/active",
 		"./testdata/src/buflint/other")
 }
 

@@ -1,0 +1,34 @@
+// Package active is a buflint fixture for the k-center selector's inner
+// loop: updateMinDist runs once per (candidate, center) pair per selection
+// round, and its candidate scratch lives on the selector. The rule covers
+// every slice element type — index scratch churns as badly as float
+// scratch at selection rate. Constructors and cap-guarded growth stay
+// legal.
+package active
+
+type cand struct {
+	x       []float64
+	minDist float64
+}
+
+type selector struct {
+	cand    []cand
+	scratch []float64
+}
+
+func (s *selector) updateMinDist(i int, center []float64) {
+	diff := make([]float64, len(center)) // want "per-call make of a slice in hot path active.updateMinDist"
+	for j := range center {
+		diff[j] = s.cand[i].x[j] - center[j]
+	}
+	order := make([]int, len(center)) // want "per-call make of a slice in hot path active.updateMinDist"
+	_ = order
+	if cap(s.scratch) < len(center) {
+		s.scratch = make([]float64, len(center)) // grow-once behind a cap guard: clean
+	}
+	s.cand[i].minDist = s.scratch[0]
+}
+
+func newSelector(n int) *selector {
+	return &selector{cand: make([]cand, n)} // constructor: clean
+}

@@ -22,3 +22,15 @@ func (e *encoder) EncodeInto(dst, block []float64) {
 func newEncoder(n int) *encoder {
 	return &encoder{coef: make([]float64, n)} // constructor: clean
 }
+
+// SqDist is the active selector's pairwise-distance kernel: one call per
+// (candidate, center) pair, so per-call float scratch is churn.
+func SqDist(a, b []float64) float64 {
+	diff := make([]float64, len(a)) // want "per-call make of a float slice in hot path feature.SqDist"
+	s := 0.0
+	for i := range a {
+		diff[i] = a[i] - b[i]
+		s += diff[i] * diff[i]
+	}
+	return s
+}

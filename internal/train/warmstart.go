@@ -1,0 +1,27 @@
+package train
+
+import (
+	"fmt"
+	"io"
+
+	"hotspot/internal/nn"
+)
+
+// LoadWarmStart reads a checkpoint written by nn.Save (the versioned
+// HSDNET format) and validates the restored network against the expected
+// input shape, returning a network ready to fine-tune with MGD or
+// BiasedLearning — both train in place, so a loaded network warm-starts
+// for free. It is the single warm-start entry point shared by
+// core.LoadDetector, `hsd-train -init` and the active-learning loop; the
+// shape check catches the classic mistake of resuming a checkpoint under
+// a different feature geometry before any training spends time.
+func LoadWarmStart(r io.Reader, inShape []int) (*nn.Network, error) {
+	net, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := net.Summary(inShape); err != nil {
+		return nil, fmt.Errorf("train: checkpoint incompatible with input shape %v: %w", inShape, err)
+	}
+	return net, nil
+}

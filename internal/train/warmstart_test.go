@@ -1,0 +1,66 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hotspot/internal/nn"
+)
+
+// TestLoadWarmStart: a round-tripped checkpoint loads bit-identically
+// when the input shape matches the saved architecture.
+func TestLoadWarmStart(t *testing.T) {
+	cfg := nn.DefaultPaperNetConfig()
+	net, err := nn.NewPaperNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWarmStart(&buf, []int{cfg.InChannels, cfg.SpatialSize, cfg.SpatialSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := net.Params(), loaded.Params()
+	if len(want) != len(got) {
+		t.Fatalf("param count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		wd, gd := want[i].W.Data(), got[i].W.Data()
+		for j := range wd {
+			if math.Float64bits(wd[j]) != math.Float64bits(gd[j]) {
+				t.Fatalf("param %d element %d differs: %v vs %v", i, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestLoadWarmStartShapeMismatch: resuming under a different feature
+// geometry fails up front, before any training time is spent.
+func TestLoadWarmStartShapeMismatch(t *testing.T) {
+	net, err := nn.NewPaperNet(nn.DefaultPaperNetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWarmStart(&buf, []int{4, 6, 6}); err == nil {
+		t.Fatal("shape-mismatched checkpoint loaded without error")
+	} else if !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestLoadWarmStartGarbage: bytes that are not a checkpoint are rejected
+// by the versioned header check.
+func TestLoadWarmStartGarbage(t *testing.T) {
+	if _, err := LoadWarmStart(strings.NewReader("not a checkpoint"), []int{32, 12, 12}); err == nil {
+		t.Fatal("garbage input loaded without error")
+	}
+}

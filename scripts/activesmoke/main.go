@@ -1,0 +1,184 @@
+// Command activesmoke is the hsd-active end-to-end smoke: it runs the
+// binary on a tiny pool with a budget chosen to exhaust mid-batch, then
+// asserts the exact budget accounting — invariants that hold for any
+// model weights: 24 pool clips at the default 10 s/clip under a 70 s
+// budget label 4 clips in round 0 and 3 in round 1 before the fourth
+// charge is refused, so the loop truncates, stops, and the JSONL manifest
+// and the litho budget meters all read exactly 70 spent seconds and 7
+// labels. scripts/check.sh runs it as the active leg of the gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// exactly reports bit-identity — the budget meter charges exact corner
+// multiples, so the accounting must reproduce these values to the bit.
+func exactly(got, want float64) bool {
+	return math.Float64bits(got) == math.Float64bits(want)
+}
+
+// 70 s budget at 10 s/clip across 4-clip batches: round 0 labels 4
+// (spent 40), round 1 labels 3 and truncates (spent 70), loop stops.
+const (
+	wantRounds  = 2
+	wantLabels  = 7
+	wantSeconds = 70
+)
+
+type roundEvent struct {
+	Event           string  `json:"event"`
+	Round           int     `json:"round"`
+	Scored          int     `json:"scored"`
+	Selected        []int   `json:"selected"`
+	Labeled         int     `json:"labeled"`
+	BudgetSpent     float64 `json:"budget_spent"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Truncated       bool    `json:"truncated"`
+}
+
+type resultEvent struct {
+	RoundsRun       int     `json:"rounds_run"`
+	LabeledTotal    int     `json:"labeled_total"`
+	BudgetSpent     float64 `json:"budget_spent"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("activesmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("activesmoke: hsd-active budget/manifest/metrics OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "hsd-activesmoke-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(tmp) }()
+
+	bin := filepath.Join(tmp, "hsd-active")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hsd-active")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build hsd-active: %w", err)
+	}
+
+	manifestPath := filepath.Join(tmp, "active.jsonl")
+	metricsPath := filepath.Join(tmp, "metrics.txt")
+	cmd := exec.Command(bin,
+		"-pool", "24", "-eval", "8", "-rounds", "3", "-batch", "4",
+		"-budget", "70", "-blocks", "4", "-k", "8", "-iters", "40",
+		"-seed", "3", "-workers", "2",
+		"-manifest", manifestPath, "-metrics-out", metricsPath)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("hsd-active: %w", err)
+	}
+
+	if err := checkManifest(manifestPath); err != nil {
+		return err
+	}
+	return checkMetrics(metricsPath)
+}
+
+// checkManifest parses the JSONL stream line by line and asserts the
+// exact per-round budget trajectory.
+func checkManifest(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var (
+		events []string
+		rounds []roundEvent
+		result resultEvent
+	)
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var head struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+			return fmt.Errorf("unparseable manifest line %q: %w", sc.Text(), err)
+		}
+		events = append(events, head.Event)
+		switch head.Event {
+		case "round":
+			var r roundEvent
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				return err
+			}
+			rounds = append(rounds, r)
+		case "result":
+			if err := json.Unmarshal(sc.Bytes(), &result); err != nil {
+				return err
+			}
+		}
+	}
+	want := []string{"manifest", "round", "round", "result"}
+	if strings.Join(events, ",") != strings.Join(want, ",") {
+		return fmt.Errorf("manifest events %v, want %v", events, want)
+	}
+	if len(rounds) != wantRounds {
+		return fmt.Errorf("%d round events, want %d", len(rounds), wantRounds)
+	}
+	r0, r1 := rounds[0], rounds[1]
+	if r0.Scored != 24 || len(r0.Selected) != 4 || r0.Labeled != 4 ||
+		!exactly(r0.BudgetSpent, 40) || !exactly(r0.BudgetRemaining, 30) || r0.Truncated {
+		return fmt.Errorf("round 0 accounting off: %+v", r0)
+	}
+	if r1.Scored != 20 || len(r1.Selected) != 4 || r1.Labeled != 3 ||
+		!exactly(r1.BudgetSpent, wantSeconds) || !exactly(r1.BudgetRemaining, 0) || !r1.Truncated {
+		return fmt.Errorf("round 1 accounting off: %+v", r1)
+	}
+	if result.RoundsRun != wantRounds || result.LabeledTotal != wantLabels ||
+		!exactly(result.BudgetSpent, wantSeconds) || !exactly(result.BudgetRemaining, 0) {
+		return fmt.Errorf("result accounting off: %+v", result)
+	}
+	fmt.Printf("activesmoke: manifest OK (%d rounds, %d labels, %.0f s spent, truncated mid-batch)\n",
+		result.RoundsRun, result.LabeledTotal, result.BudgetSpent)
+	return nil
+}
+
+// checkMetrics asserts the litho budget meters and the loop counters and
+// stage summaries, with exact values where the accounting pins them.
+func checkMetrics(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	text := string(raw)
+	for _, series := range []string{
+		// Exact: 7 labels at 10 s each, down to a zero remainder.
+		"hsd_litho_odst_milliseconds_total 70000",
+		"hsd_litho_labels_total 7",
+		"hsd_litho_budget_remaining_seconds 0.000",
+		"hsd_active_rounds_total 2",
+		"hsd_active_selected_total 8",
+		"hsd_active_labeled_total 7",
+		`stage="active/score"`,
+		`stage="active/select"`,
+		`stage="active/label"`,
+		`stage="active/tune"`,
+	} {
+		if !strings.Contains(text, series) {
+			return fmt.Errorf("metrics dump missing %s:\n%s", series, text)
+		}
+	}
+	fmt.Println("activesmoke: metrics OK (budget meters exact, loop counters, stage summaries)")
+	return nil
+}

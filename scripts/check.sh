@@ -24,6 +24,10 @@
 #                            block accounting, the exact cache hit rate,
 #                            incremental re-scan dirty counts and the
 #                            hsd_scan_* metrics series
+#   9. scripts/activesmoke   hsd-active smoke: tiny pool, budget sized to
+#                            exhaust mid-batch, asserts exact ODST-seconds
+#                            accounting, truncation, the JSONL manifest and
+#                            the hsd_litho_*/hsd_active_* metrics series
 #
 # Usage: scripts/check.sh [-short|-lint-only]
 #   -short      pass -short to go test (skips the slow experiment suites)
@@ -70,5 +74,8 @@ go run ./scripts/trainsmoke
 
 echo "==> hsd-scan smoke"
 go run ./scripts/scansmoke
+
+echo "==> hsd-active smoke"
+go run ./scripts/activesmoke
 
 echo "check gate: all legs green"
