@@ -33,6 +33,7 @@ import (
 	"hotspot/internal/litho"
 	"hotspot/internal/nn"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/train"
 )
@@ -59,9 +60,11 @@ func main() {
 		out        = flag.String("out", "", "save the final model to this file")
 		manifest   = flag.String("manifest", "", "write JSONL run telemetry (manifest, per-round records, result) to this file")
 		metricsOut = flag.String("metrics-out", "", "dump the metrics registry as scrape text to this file at exit")
+		traceOut   = flag.String("trace-out", "", "record per-round trace trees and dump the flight recorder as JSONL to this file at exit")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
+	obs.SetBuildInfo(obs.Default(), obs.L("tool", "hsd-active"))
 
 	style, err := layout.StyleByName(*styleName)
 	if err != nil {
@@ -120,6 +123,10 @@ func main() {
 			tune.Initial.DecayStep = *iters / 2
 		}
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
+	}
 	cfg := active.Config{
 		Rounds:        *rounds,
 		Batch:         *batch,
@@ -131,6 +138,7 @@ func main() {
 		Workers:       *workers,
 		Tune:          tune,
 		Log:           mlog,
+		Tracer:        tracer,
 	}
 	loop, err := active.NewLoop(cfg, net, pool, func(_ int, c geom.Clip) (bool, error) {
 		rep, err := labeler.Label(c)
@@ -188,6 +196,19 @@ func main() {
 			log.Fatal(err)
 		}
 		err = obs.Default().WriteText(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tracer.WriteJSONL(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

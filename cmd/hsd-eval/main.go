@@ -34,6 +34,7 @@ func main() {
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
+	obs.SetBuildInfo(obs.Default(), obs.L("tool", "hsd-eval"))
 	if *data == "" || *model == "" {
 		log.Fatal("-data and -model are required")
 	}

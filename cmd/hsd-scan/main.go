@@ -27,6 +27,7 @@ import (
 	"hotspot/internal/layout"
 	"hotspot/internal/nn"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/scan"
@@ -121,9 +122,11 @@ func main() {
 		jsonOut    = flag.String("json", "", "write stats and region proposals to this JSON file")
 		edit       = flag.String("edit", "", "after the cold scan, clear region x0,y0,x1,y1 and incrementally re-scan")
 		metricsOut = flag.String("metrics-out", "", "dump the metrics registry as scrape text to this file at exit")
+		traceOut   = flag.String("trace-out", "", "record per-pass trace trees and dump the flight recorder as JSONL to this file at exit")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
+	obs.SetBuildInfo(obs.Default(), obs.L("tool", "hsd-scan"))
 
 	var net *nn.Network
 	var err error
@@ -156,6 +159,11 @@ func main() {
 	cfg.WindowNM = *window
 	cfg.Workers = *workers
 	cfg.Shift = *shift
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
+		cfg.Tracer = tracer
+	}
 	s, err := scan.New(cfg, net, die)
 	if err != nil {
 		log.Fatal(err)
@@ -201,6 +209,19 @@ func main() {
 			log.Fatal(err)
 		}
 		err = obs.Default().WriteText(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tracer.WriteJSONL(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"hotspot/internal/nn"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/serve"
 )
@@ -53,6 +54,7 @@ func main() {
 		coreSide  = flag.Int("core", 1200, "default clip-core side in nm (centered in each request's frame)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof and /debug/obs on the listen address (off by default; exposes process internals)")
+		traceOn   = flag.Bool("trace", false, "record request traces in the in-memory flight recorder and mount GET /debug/trace (off by default; exposes request internals)")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
@@ -69,6 +71,9 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Shift = *shift
 	cfg.RequestTimeout = *timeout
+	if *traceOn {
+		cfg.Trace = &trace.Config{}
+	}
 
 	srv, err := serve.New(cfg)
 	if err != nil {

@@ -33,6 +33,7 @@ import (
 	"hotspot/internal/core"
 	"hotspot/internal/dataset"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/train"
 )
@@ -51,9 +52,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for extraction, gradients and validation (0 = GOMAXPROCS); the trained model is identical for any value")
 		telemetry  = flag.String("telemetry", "", "write JSONL training telemetry (manifest, per-epoch records, result) to this file")
 		metricsOut = flag.String("metrics-out", "", "dump the metrics registry as scrape text to this file at exit")
+		traceOut   = flag.String("trace-out", "", "record per-epoch trace trees and dump the flight recorder as JSONL to this file at exit")
 	)
 	flag.Parse()
 	parallel.SetDefault(*workers)
+	obs.SetBuildInfo(obs.Default(), obs.L("tool", "hsd-train"))
 	if *data == "" {
 		log.Fatal("-data is required")
 	}
@@ -134,6 +137,12 @@ func main() {
 			})
 		}
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
+		cfg.Biased.Initial.Tracer = tracer
+		cfg.Biased.FineTune.Tracer = tracer
+	}
 	var det *core.Detector
 	if *initPath != "" {
 		// Warm start: resume from a saved checkpoint via the shared
@@ -202,6 +211,19 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracer != nil {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tracer.WriteJSONL(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	}

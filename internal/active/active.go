@@ -27,6 +27,7 @@ import (
 	"hotspot/internal/litho"
 	"hotspot/internal/nn"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/tensor"
 	"hotspot/internal/train"
@@ -102,6 +103,11 @@ type Config struct {
 	// Log, when non-nil, receives the JSONL round manifest ("manifest",
 	// per-round "round", final "result" events). Observation only.
 	Log *obs.EventLog
+	// Tracer, when non-nil, records one trace tree per round —
+	// score/select/label/tune stage spans plus batch accounting attributes.
+	// Observation only: weights and selections are bit-identical with
+	// tracing lit or dark. Nil is free.
+	Tracer *trace.Tracer
 }
 
 // DefaultTune is the fine-tune schedule the CLI and the experiments use:
@@ -341,8 +347,27 @@ func (l *Loop) Run() ([]RoundReport, error) {
 	return reports, nil
 }
 
-// round runs one score→select→label→tune round.
+// round wraps one runRound call in a per-round trace: the round trace is
+// closed on every exit path, errored rounds keep the error message, and
+// the accounting attributes mirror the RoundReport.
 func (l *Loop) round(r int, cost float64, reg *obs.Registry) (RoundReport, error) {
+	rtr := l.cfg.Tracer.Start("active/round")
+	rtr.SetInt("round", int64(r))
+	rep, err := l.runRound(r, cost, reg, rtr)
+	rtr.SetInt("scored", int64(rep.Scored))
+	rtr.SetInt("selected", int64(len(rep.Selected)))
+	rtr.SetInt("labeled", int64(rep.Labeled))
+	rtr.SetBool("truncated", rep.Truncated)
+	rtr.SetFloat("budget_spent", rep.BudgetSpent)
+	if err != nil {
+		rtr.SetError(err.Error())
+	}
+	rtr.Finish()
+	return rep, err
+}
+
+// runRound runs one score→select→label→tune round.
+func (l *Loop) runRound(r int, cost float64, reg *obs.Registry, rtr *trace.Trace) (RoundReport, error) {
 	rep := RoundReport{Round: r, Scored: len(l.unlabeled)}
 
 	// Score the unlabeled pool on the fused evaluator. StrategyRandom
@@ -353,7 +378,9 @@ func (l *Loop) round(r int, cost float64, reg *obs.Registry) (RoundReport, error
 	if l.cfg.strategy() == StrategyRandom {
 		watch := obs.NewStopwatch()
 		sel = SelectRandom(l.unlabeled, l.cfg.Batch, roundKey)
-		reg.Stage("active/select").ObserveDuration(watch.Elapsed())
+		d := watch.Elapsed()
+		reg.Stage("active/select").ObserveDuration(d)
+		rtr.StartSpan("select").EndWith(d)
 	} else {
 		watch := obs.NewStopwatch()
 		xs := make([]*tensor.Tensor, len(l.unlabeled))
@@ -364,14 +391,20 @@ func (l *Loop) round(r int, cost float64, reg *obs.Registry) (RoundReport, error
 		if err != nil {
 			return rep, err
 		}
-		reg.Stage("active/score").ObserveDuration(watch.Elapsed())
+		d := watch.Elapsed()
+		reg.Stage("active/score").ObserveDuration(d)
+		ssp := rtr.StartSpan("score")
+		ssp.SetInt("pool", int64(len(xs)))
+		ssp.EndWith(d)
 
 		watch = obs.NewStopwatch()
 		sel, err = l.sel.selectHybrid(l.pool.Tensors, probs, l.unlabeled, l.cfg.Batch, l.cfg.Candidates, roundKey)
 		if err != nil {
 			return rep, err
 		}
-		reg.Stage("active/select").ObserveDuration(watch.Elapsed())
+		d = watch.Elapsed()
+		reg.Stage("active/select").ObserveDuration(d)
+		rtr.StartSpan("select").EndWith(d)
 	}
 	rep.Selected = sel
 	l.selected.Add(int64(len(sel)))
@@ -396,7 +429,11 @@ func (l *Loop) round(r int, cost float64, reg *obs.Registry) (RoundReport, error
 		}
 		labeledNow++
 	}
-	reg.Stage("active/label").ObserveDuration(watch.Elapsed())
+	d := watch.Elapsed()
+	reg.Stage("active/label").ObserveDuration(d)
+	lsp := rtr.StartSpan("label")
+	lsp.SetInt("clips", int64(labeledNow))
+	lsp.EndWith(d)
 	rep.Labeled = labeledNow
 	rep.Hotspots = l.hotspots
 	rep.BudgetSpent = l.budget.Spent()
@@ -442,7 +479,11 @@ func (l *Loop) round(r int, cost float64, reg *obs.Registry) (RoundReport, error
 	if _, err := train.BiasedLearning(l.net, l.labeled, nil, tune); err != nil {
 		return rep, err
 	}
-	reg.Stage("active/tune").ObserveDuration(watch.Elapsed())
+	d = watch.Elapsed()
+	reg.Stage("active/tune").ObserveDuration(d)
+	tsp := rtr.StartSpan("tune")
+	tsp.SetInt("samples", int64(len(l.labeled)))
+	tsp.EndWith(d)
 
 	if len(l.evalSet) > 0 {
 		m, err := l.ev.EvalSet(l.evalSet, 0)

@@ -1,0 +1,80 @@
+package active
+
+import (
+	"testing"
+
+	"hotspot/internal/obs/trace"
+)
+
+// TestLoopTraceParity: a traced loop and a dark loop over the same pool
+// select the same clips and land on bit-identical weights — tracing
+// observes, never perturbs.
+func TestLoopTraceParity(t *testing.T) {
+	pool := testPool(20)
+	base := Config{Rounds: 2, Batch: 4, Seed: 7, Tune: testTune()}
+	darkReports, darkSum := runLoop(t, pool, base)
+
+	lit := base
+	lit.Tracer = trace.New(trace.Config{Seed: 5})
+	litReports, litSum := runLoop(t, pool, lit)
+	if litSum != darkSum {
+		t.Fatalf("traced weight checksum %#x, dark %#x", litSum, darkSum)
+	}
+	for r := range darkReports {
+		if !equalInts(litReports[r].Selected, darkReports[r].Selected) {
+			t.Fatalf("round %d: traced selected %v, dark %v",
+				r, litReports[r].Selected, darkReports[r].Selected)
+		}
+	}
+}
+
+// TestLoopTraceRounds checks the recorded shape: one active/round trace
+// per round run, carrying score/select/label/tune spans and the batch
+// accounting attributes that mirror the RoundReport.
+func TestLoopTraceRounds(t *testing.T) {
+	pool := testPool(20)
+	cfg := Config{
+		Rounds: 2, Batch: 4, Seed: 7, Tune: testTune(),
+		Tracer: trace.New(trace.Config{Seed: 5}),
+	}
+	reports, _ := runLoop(t, pool, cfg)
+	if len(reports) != 2 {
+		t.Fatalf("ran %d rounds, want 2", len(reports))
+	}
+	byRound := map[int64]*trace.TraceJSON{}
+	snap := cfg.Tracer.Snapshot()
+	for i := range snap {
+		if snap[i].Name == "active/round" {
+			r, _ := snap[i].Attrs["round"].(int64)
+			byRound[r] = &snap[i]
+		}
+	}
+	if len(byRound) != 2 {
+		t.Fatalf("recorded %d round traces, want 2", len(byRound))
+	}
+	for r, rep := range reports {
+		tr := byRound[int64(r)]
+		if tr == nil {
+			t.Fatalf("no trace for round %d", r)
+		}
+		spans := map[string]trace.SpanJSON{}
+		for _, sp := range tr.Spans {
+			spans[sp.Name] = sp
+		}
+		for _, st := range []string{"score", "select", "label", "tune"} {
+			if _, ok := spans[st]; !ok {
+				t.Fatalf("round %d trace missing %q span: %+v", r, st, tr.Spans)
+			}
+		}
+		if tr.Attrs["scored"] != int64(rep.Scored) ||
+			tr.Attrs["selected"] != int64(len(rep.Selected)) ||
+			tr.Attrs["labeled"] != int64(rep.Labeled) ||
+			tr.Attrs["truncated"] != rep.Truncated {
+			t.Fatalf("round %d trace attrs %v do not mirror report %+v", r, tr.Attrs, rep)
+		}
+		if spans["label"].Attrs["clips"] != int64(rep.Labeled) {
+			t.Fatalf("round %d label span clips = %v, want %d",
+				r, spans["label"].Attrs["clips"], rep.Labeled)
+		}
+	}
+}

@@ -94,6 +94,20 @@ var bufSpecs = map[string]bufSpec{
 		hot:      func(name string) bool { return name == "updateMinDist" },
 		anySlice: true,
 	},
+	// trace's recorder runs once per finished trace on the serving path;
+	// its rings are sized at construction and the slow buckets are
+	// allocated once per endpoint (newBucket), so a per-record make of any
+	// slice type is churn at request rate.
+	"trace": {
+		hot: func(name string) bool {
+			switch name {
+			case "record", "keepSlow":
+				return true
+			}
+			return false
+		},
+		anySlice: true,
+	},
 }
 
 func isSliceMake(pass *Pass, call *ast.CallExpr, anyElem bool) bool {

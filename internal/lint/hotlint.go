@@ -23,9 +23,11 @@ import (
 //     and blind the static analysis).
 //
 // Two package policies keep the contract honest rather than noisy:
-// internal/obs is never traversed (the observability layer locks by
-// design and sits off the result path — the same exemption the timing
-// analyzer grants it), and internal/parallel is traversed and checked but
+// internal/obs and internal/obs/trace are never traversed (the
+// observability layer locks by design and sits off the result path — the
+// same exemption the timing analyzer grants it; the trace recorder keeps
+// the hot path clean by a different contract, the nil-tracer zero-alloc
+// benchmarks), and internal/parallel is traversed and checked but
 // exempt from the synchronization and dynamic-call checks (it *is* the
 // sanctioned concurrency substrate; its locks and channels are what the
 // rest of the tree is banned from hand-rolling).
@@ -52,7 +54,8 @@ var Hotlint = &Analyzer{
 
 // hotlintSkipPkg names packages the reachability walk never enters.
 func hotlintSkipPkg(path string) bool {
-	return strings.HasSuffix(path, "internal/obs")
+	return strings.HasSuffix(path, "internal/obs") ||
+		strings.HasSuffix(path, "internal/obs/trace")
 }
 
 // hotlintRelaxedPkg names packages exempt from the synchronization and

@@ -36,13 +36,16 @@ func TestBuflint(t *testing.T) {
 		"./testdata/src/buflint/scan",
 		"./testdata/src/buflint/feature",
 		"./testdata/src/buflint/active",
+		"./testdata/src/buflint/trace",
 		"./testdata/src/buflint/other")
 }
 
 func TestHotlint(t *testing.T) {
 	linttest.Run(t, lint.Hotlint,
 		"./testdata/src/hotlint/a",
-		"./testdata/src/hotlint/b")
+		"./testdata/src/hotlint/b",
+		"./testdata/src/hotlint/c",
+		"./testdata/src/hotlint/internal/obs/trace")
 }
 
 func TestAlloclint(t *testing.T) {
@@ -84,7 +87,8 @@ func TestWaiverJustification(t *testing.T) {
 func TestTiming(t *testing.T) {
 	linttest.Run(t, lint.Timing,
 		"./testdata/src/timing/a",
-		"./testdata/src/timing/internal/obs")
+		"./testdata/src/timing/internal/obs",
+		"./testdata/src/timing/internal/obs/trace")
 }
 
 func TestSelect(t *testing.T) {

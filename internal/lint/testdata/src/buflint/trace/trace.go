@@ -1,0 +1,28 @@
+// Package trace is a buflint fixture for the flight recorder's hot
+// bodies: record and keepSlow run once per finished trace at request
+// rate, so a per-call make of any slice type is churn. Rings are sized at
+// construction and slow buckets are allocated once per endpoint
+// (newBucket), which stays legal.
+package trace
+
+type recorder struct {
+	recent []*int
+	slowN  int
+}
+
+func (r *recorder) record(n int) {
+	reasons := make([]string, n) // want "per-call make of a slice in hot path trace.record"
+	_ = reasons
+}
+
+func (r *recorder) keepSlow(n int) {
+	b := make([]*int, 0, n) // want "per-call make of a slice in hot path trace.keepSlow"
+	_ = b
+	if cap(r.recent) < n {
+		r.recent = make([]*int, n) // grow-once behind a cap guard: clean
+	}
+}
+
+func (r *recorder) newBucket() []*int {
+	return make([]*int, 0, r.slowN) // once per endpoint, not a hot body: clean
+}

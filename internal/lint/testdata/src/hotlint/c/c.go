@@ -1,0 +1,14 @@
+// Package c pins the internal/obs/trace skip: a hot-path root ending a
+// span — which locks inside the trace package — is clean, because the
+// walk never enters a package whose path ends in internal/obs/trace
+// (the same policy internal/obs has always had).
+package c
+
+import "hotspot/internal/lint/testdata/src/hotlint/internal/obs/trace"
+
+// Root is hot and traces its batch; no findings.
+//
+//hsd:hotpath
+func Root(sp *trace.Span, d int64) {
+	sp.EndWith(d)
+}

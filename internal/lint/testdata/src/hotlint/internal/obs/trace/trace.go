@@ -1,0 +1,21 @@
+// Package trace models internal/obs/trace for the hotlint skip policy:
+// the span mutators lock by design (a trace is shared across the request
+// handler and the flush loop), and the reachability walk never enters the
+// package — the hot path's protection is the nil-tracer zero-allocation
+// benchmark, not this analyzer.
+package trace
+
+import "sync"
+
+// Span is the mutating half the serving hot path touches.
+type Span struct {
+	mu  sync.Mutex
+	dur int64
+}
+
+// EndWith locks: a breach anywhere hotlint traverses, invisible here.
+func (s *Span) EndWith(d int64) {
+	s.mu.Lock()
+	s.dur = d
+	s.mu.Unlock()
+}

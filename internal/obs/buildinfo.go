@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfoMetric is the gauge every tool registers so each scrape or
+// -metrics-out dump identifies the binary that produced it: the value is
+// always 1 and the identity lives in the labels, the Prometheus
+// build-info convention.
+const BuildInfoMetric = "hsd_build_info"
+
+// buildIDs reads the binary's module identity once: module path, module
+// version, and Go toolchain version, each "unknown" when the runtime
+// cannot say (e.g. a bare go tool compile artifact).
+var buildIDs = sync.OnceValue(func() [3]string {
+	module, version, goVersion := "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return [3]string{module, version, goVersion}
+})
+
+// BuildLabels returns the binary-identity labels (module, version, go)
+// followed by extra, for callers that add their own identity dimensions
+// (the serving layer appends the live model generation and fused-engine
+// flag).
+func BuildLabels(extra ...Label) []Label {
+	ids := buildIDs()
+	labels := make([]Label, 0, 3+len(extra))
+	labels = append(labels,
+		L("module", ids[0]),
+		L("version", ids[1]),
+		L("go", ids[2]))
+	return append(labels, extra...)
+}
+
+// SetBuildInfo registers the hsd_build_info gauge (value 1) on r with the
+// binary-identity labels plus extra. Idempotent per label set.
+func SetBuildInfo(r *Registry, extra ...Label) {
+	r.Gauge(BuildInfoMetric, -1, BuildLabels(extra...)...).Set(1)
+}

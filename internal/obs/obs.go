@@ -360,6 +360,14 @@ func (r *Registry) Text() string {
 				quantile := append(append([]Label{}, s.labels...), L("q", q.tag))
 				fmt.Fprintf(&b, "%s%s %.9f\n", s.name, renderLabels(quantile), q.v)
 			}
+			// Exemplar line: the window's slowest tagged observation,
+			// labeled with its trace ID so the scrape links into
+			// GET /debug/trace. Only summaries fed via ObserveExemplar
+			// render it.
+			if v, ex, ok := s.summary.Exemplar(); ok {
+				exLabels := append(append([]Label{}, s.labels...), L("q", "max"), L("trace_id", ex))
+				fmt.Fprintf(&b, "%s%s %.9f\n", s.name, renderLabels(exLabels), v)
+			}
 		}
 	}
 	return b.String()

@@ -19,8 +19,9 @@ const DefaultWindow = 1024
 type Summary struct {
 	mu      sync.Mutex
 	buf     []float64
-	n       int // filled entries, <= len(buf)
-	next    int // next write index
+	exs     []string // per-sample exemplar IDs; nil until ObserveExemplar is first used
+	n       int      // filled entries, <= len(buf)
+	next    int      // next write index
 	count   int64
 	sum     float64
 	scratch []float64 // reused quantile sort buffer
@@ -39,18 +40,61 @@ func newSummary(window int) *Summary {
 // Observe records one sample.
 func (s *Summary) Observe(v float64) {
 	s.mu.Lock()
+	s.observeLocked(v, "")
+	s.mu.Unlock()
+}
+
+// ObserveExemplar records one sample tagged with an exemplar ID (by
+// convention a trace ID), so the scrape can point at the concrete request
+// behind the window's slowest observation. Samples recorded with plain
+// Observe carry no exemplar.
+func (s *Summary) ObserveExemplar(v float64, exemplar string) {
+	s.mu.Lock()
+	if s.exs == nil && exemplar != "" {
+		s.exs = make([]string, len(s.buf))
+	}
+	s.observeLocked(v, exemplar)
+	s.mu.Unlock()
+}
+
+func (s *Summary) observeLocked(v float64, exemplar string) {
 	s.buf[s.next] = v
+	if s.exs != nil {
+		s.exs[s.next] = exemplar // clears any stale exemplar the slot held
+	}
 	s.next = (s.next + 1) % len(s.buf)
 	if s.n < len(s.buf) {
 		s.n++
 	}
 	s.count++
 	s.sum += v
-	s.mu.Unlock()
 }
 
 // ObserveDuration records d in seconds.
 func (s *Summary) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Exemplar returns the window's largest exemplar-tagged observation and
+// its exemplar ID; ok is false when no sample in the window carries one.
+func (s *Summary) Exemplar() (v float64, exemplar string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exemplarLocked()
+}
+
+func (s *Summary) exemplarLocked() (v float64, exemplar string, ok bool) {
+	if s.exs == nil {
+		return 0, "", false
+	}
+	for i := 0; i < s.n; i++ {
+		if s.exs[i] == "" {
+			continue
+		}
+		if !ok || s.buf[i] > v {
+			v, exemplar, ok = s.buf[i], s.exs[i], true
+		}
+	}
+	return v, exemplar, ok
+}
 
 // Count returns the lifetime number of observations (not capped by the
 // window).

@@ -1,0 +1,437 @@
+// Package trace is the per-request tracing layer on top of internal/obs:
+// a Tracer hands out Trace trees (a root span plus nested child spans,
+// each carrying a stage name, a duration, and typed attributes) and files
+// finished traces into a bounded in-memory flight recorder with tail-keep
+// retention (see recorder.go). It exists so incident debugging and
+// rollback decisions can attribute latency to a single request — which
+// batch it rode in, how long it queued, where its time went — rather than
+// to process-level histograms alone.
+//
+// Contracts, all machine-enforced by hsd-vet:
+//
+//   - No wall clock, no math/rand. Trace IDs come from a splitmix64
+//     finalizer over a caller-provided key and an atomic counter, so a run
+//     with a fixed seed emits a reproducible ID sequence (seedlint green).
+//     Durations only ever flow through obs.Stopwatch — the timing analyzer
+//     polices this package like any other (its import path does not end in
+//     "internal/obs", so the obs clock exemption does not extend here).
+//
+//   - Dark tracing is free. Every method on a nil *Tracer, *Trace, or
+//     *Span is a no-op that allocates nothing, so instrumented hot paths
+//     (the serve batcher is hotlint-rooted) pay only a nil check per call
+//     when the operator has not lit tracing. Callers must keep argument
+//     expressions allocation-free too: constant keys, pre-existing
+//     strings, and integer conversions — never fmt or string concat on the
+//     dark path. Guard any loop that builds label strings with a nil check
+//     on the trace. TestDarkTracingZeroAlloc pins the contract.
+//
+//   - Observation only. Recording a trace never feeds back into training
+//     or inference; parity tests (TestMGDTraceParity, serve's trace parity
+//     test) pin traced and dark runs to bit-identical weights and served
+//     probabilities.
+//
+// Internally every mutation of a Trace or its spans locks the owning
+// Trace's mutex: spans are ended by whichever goroutine measured them (a
+// request handler may time out and finish its trace while the batcher
+// flush loop later ends the request's queue span), and the JSON dump
+// renders under the same lock. The locking is legal on hot paths because
+// hotlint never traverses into this package (the lock is only ever taken
+// when tracing is lit) — mirrored by the hotlint fixture at
+// testdata/src/hotlint/internal/obs/trace.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotspot/internal/obs"
+)
+
+// mix64 is the splitmix64 output finalizer over a keyed counter: the same
+// generator family seeds the rest of the repository (train shuffles, the
+// active loop's round keys), so trace IDs inherit the no-wall-clock,
+// no-math/rand determinism contract.
+func mix64(key, v uint64) uint64 {
+	z := key + (v+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultRecent = 64 // last-N ring, any outcome
+	DefaultErrors = 64 // errored-trace ring (status >= 400 or SetError)
+	DefaultSlowN  = 8  // slowest-N kept per root span name
+)
+
+// Config sizes a Tracer's flight recorder and keys its ID generator.
+// The zero value is a usable default.
+type Config struct {
+	// Recent is the size of the last-N ring that keeps the most recent
+	// traces regardless of outcome. 0 means DefaultRecent.
+	Recent int
+	// Errors is the size of the ring that keeps errored traces (HTTP
+	// status >= 400 or an explicit SetError). 0 means DefaultErrors.
+	Errors int
+	// SlowN is how many of the slowest traces to keep per root span name
+	// (per endpoint, in serving terms). 0 means DefaultSlowN.
+	SlowN int
+	// Seed keys the splitmix64 ID generator. Two tracers with the same
+	// seed emit the same ID sequence.
+	Seed uint64
+}
+
+// Tracer mints Trace trees and owns the flight recorder they are filed
+// into when finished. A nil *Tracer is the dark tracer: Start returns a
+// nil *Trace and the entire downstream API no-ops.
+type Tracer struct {
+	key uint64
+	seq atomic.Uint64
+	rec *recorder
+}
+
+// New builds a lit tracer with cfg's retention policy.
+func New(cfg Config) *Tracer {
+	if cfg.Recent <= 0 {
+		cfg.Recent = DefaultRecent
+	}
+	if cfg.Errors <= 0 {
+		cfg.Errors = DefaultErrors
+	}
+	if cfg.SlowN <= 0 {
+		cfg.SlowN = DefaultSlowN
+	}
+	return &Tracer{
+		key: mix64(cfg.Seed, 0x74726163), // "trac": domain-separate the ID key from the raw seed
+		rec: newRecorder(cfg.Recent, cfg.Errors, cfg.SlowN),
+	}
+}
+
+// Start begins a new trace whose root span is named name. On a nil tracer
+// it returns nil, which every Trace and Span method accepts.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	seq := t.seq.Add(1) - 1
+	id := mix64(t.key, seq)
+	tr := &Trace{tracer: t, id: id, idStr: hex16(id), seq: seq}
+	tr.root = newSpan(tr, name)
+	return tr
+}
+
+// hex16 renders v as 16 lowercase hex digits without fmt.
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// attrCap is the attribute capacity reserved at span creation; the
+// instrumented pipelines set at most a handful per span, so the typed
+// setters below append without growing (see their //hsd:noalloc marks).
+const attrCap = 8
+
+type attrKind uint8
+
+const (
+	attrInt attrKind = iota
+	attrFloat
+	attrStr
+	attrBool
+)
+
+// Attr is one typed key/value attribute on a span. Typed fields (rather
+// than an any) keep the setters boxing-free.
+type Attr struct {
+	Key  string
+	kind attrKind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Value returns the attribute's value as an any (dump path only).
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return a.i
+	case attrFloat:
+		return a.f
+	case attrBool:
+		return a.b
+	default:
+		return a.s
+	}
+}
+
+// Trace is one request's span tree plus its outcome (status code, error
+// message). All methods are safe on a nil receiver and safe for
+// concurrent use; mutations lock the trace's mutex.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	idStr  string
+	seq    uint64
+
+	mu     sync.Mutex
+	root   *Span
+	status int
+	errMsg string
+	dur    time.Duration
+	done   bool
+}
+
+// ID returns the trace's 16-hex-digit ID, or "" on a nil trace.
+//
+//hsd:noalloc
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.idStr
+}
+
+// Root returns the trace's root span (nil on a nil trace), for callers
+// that parent work under it via Span.Child.
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// StartSpan begins a child span of the root.
+func (tr *Trace) StartSpan(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root.Child(name)
+}
+
+// SetInt sets an integer attribute on the root span.
+//
+//hsd:noalloc
+func (tr *Trace) SetInt(key string, v int64) {
+	if tr == nil {
+		return
+	}
+	tr.root.SetInt(key, v)
+}
+
+// SetFloat sets a float attribute on the root span.
+//
+//hsd:noalloc
+func (tr *Trace) SetFloat(key string, v float64) {
+	if tr == nil {
+		return
+	}
+	tr.root.SetFloat(key, v)
+}
+
+// SetStr sets a string attribute on the root span.
+//
+//hsd:noalloc
+func (tr *Trace) SetStr(key, v string) {
+	if tr == nil {
+		return
+	}
+	tr.root.SetStr(key, v)
+}
+
+// SetBool sets a boolean attribute on the root span.
+//
+//hsd:noalloc
+func (tr *Trace) SetBool(key string, v bool) {
+	if tr == nil {
+		return
+	}
+	tr.root.SetBool(key, v)
+}
+
+// SetStatus records the trace's response status code. Codes >= 400 make
+// the trace error-kept by the recorder.
+//
+//hsd:noalloc
+func (tr *Trace) SetStatus(code int) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.status = code
+	tr.mu.Unlock()
+}
+
+// SetError records the trace's error message (first writer wins) and
+// makes the trace error-kept by the recorder.
+func (tr *Trace) SetError(msg string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.errMsg == "" {
+		tr.errMsg = msg
+	}
+	tr.mu.Unlock()
+}
+
+// Finish ends the trace with the root span's own stopwatch reading and
+// files it into the flight recorder. Idempotent.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.finish(tr.root.watch.Elapsed())
+}
+
+// FinishWith ends the trace with an externally measured duration — the
+// instrumented pipelines time stages once with obs.Stopwatch and feed the
+// same reading to both the stage summary and the trace, keeping obs the
+// single clock authority. Idempotent.
+//
+//hsd:noalloc
+func (tr *Trace) FinishWith(d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.finish(d)
+}
+
+func (tr *Trace) finish(d time.Duration) {
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.dur = d
+	if !tr.root.ended {
+		tr.root.ended = true
+		tr.root.dur = d
+	}
+	name := tr.root.name
+	isErr := tr.status >= 400 || tr.errMsg != ""
+	tr.mu.Unlock()
+	tr.tracer.rec.record(tr, name, d, isErr)
+}
+
+// Span is one timed stage inside a trace. All methods are safe on a nil
+// receiver; mutations lock the owning trace's mutex.
+type Span struct {
+	tr       *Trace
+	name     string
+	watch    obs.Stopwatch
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(tr *Trace, name string) *Span {
+	return &Span{tr: tr, name: name, watch: obs.NewStopwatch(), attrs: make([]Attr, 0, attrCap)}
+}
+
+// TraceID returns the ID of the span's owning trace, "" on a nil span.
+//
+//hsd:noalloc
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.tr.idStr
+}
+
+// Child begins a nested span under sp.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := newSpan(sp.tr, name)
+	sp.tr.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.tr.mu.Unlock()
+	return c
+}
+
+// End ends the span with its own stopwatch reading and returns the
+// elapsed duration (0 on a nil span). First end wins.
+func (sp *Span) End() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	d := sp.watch.Elapsed()
+	sp.EndWith(d)
+	return d
+}
+
+// EndWith ends the span with an externally measured duration, letting
+// instrumented code share one obs.Stopwatch reading between a stage
+// summary observation and the trace. First end wins.
+//
+//hsd:noalloc
+func (sp *Span) EndWith(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	if !sp.ended {
+		sp.ended = true
+		sp.dur = d
+	}
+	sp.tr.mu.Unlock()
+}
+
+// SetInt sets an integer attribute.
+//
+//hsd:noalloc
+func (sp *Span) SetInt(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrInt, i: v})
+	sp.tr.mu.Unlock()
+}
+
+// SetFloat sets a float attribute.
+//
+//hsd:noalloc
+func (sp *Span) SetFloat(key string, v float64) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrFloat, f: v})
+	sp.tr.mu.Unlock()
+}
+
+// SetStr sets a string attribute.
+//
+//hsd:noalloc
+func (sp *Span) SetStr(key, v string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrStr, s: v})
+	sp.tr.mu.Unlock()
+}
+
+// SetBool sets a boolean attribute.
+//
+//hsd:noalloc
+func (sp *Span) SetBool(key string, v bool) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrBool, b: v})
+	sp.tr.mu.Unlock()
+}

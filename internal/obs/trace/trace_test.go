@@ -1,0 +1,292 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceIDsDeterministic: same seed, same ID sequence; different
+// seeds, different sequences. The contract that makes trace IDs legal
+// under seedlint (no wall clock, no math/rand) also makes them
+// reproducible.
+func TestTraceIDsDeterministic(t *testing.T) {
+	ids := func(seed uint64, n int) []string {
+		tr := New(Config{Seed: seed})
+		out := make([]string, n)
+		for i := range out {
+			x := tr.Start("req")
+			out[i] = x.ID()
+			x.FinishWith(time.Millisecond)
+		}
+		return out
+	}
+	a, b, c := ids(7, 16), ids(7, 16), ids(8, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+		if len(a[i]) != 16 {
+			t.Fatalf("ID %q is not 16 hex digits", a[i])
+		}
+	}
+	if a[0] == c[0] {
+		t.Fatalf("different seeds produced the same first ID %s", a[0])
+	}
+	seen := map[string]bool{}
+	for _, id := range a {
+		if seen[id] {
+			t.Fatalf("duplicate ID %s within one sequence", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestDarkTracingZeroAlloc pins the flagship contract: the full API
+// surface an instrumented hot path touches costs zero allocations when
+// the tracer is nil.
+func TestDarkTracingZeroAlloc(t *testing.T) {
+	var tracer *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		tr := tracer.Start("predict")
+		tr.SetInt("size", 4)
+		tr.SetBool("cache_hit", false)
+		tr.SetFloat("rate", 0.5)
+		tr.SetStr("key", "k")
+		sp := tr.StartSpan("queue")
+		sp.SetStr("batch_id", tr.ID())
+		sp.EndWith(time.Millisecond)
+		c := sp.Child("inner")
+		c.SetInt("i", 1)
+		c.End()
+		tr.SetStatus(200)
+		tr.SetError("boom")
+		tr.FinishWith(time.Millisecond)
+		tr.Finish()
+		if got := tr.ID(); got != "" {
+			t.Fatalf("nil trace ID = %q, want empty", got)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("dark tracing allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestRecorderTailKeep drives a controlled trace mix through a tiny
+// recorder and checks the three keeps: the last-N ring drops the boring
+// middle, errors survive being pushed out of recent, and the slowest-N
+// per endpoint survive regardless of age.
+func TestRecorderTailKeep(t *testing.T) {
+	tr := New(Config{Recent: 4, Errors: 2, SlowN: 2, Seed: 1})
+
+	// One early error and one early very-slow request, then a flood of
+	// boring fast traffic that evicts both from the recent ring.
+	e := tr.Start("predict")
+	e.SetStatus(429)
+	e.SetError("queue full")
+	errID := e.ID()
+	e.FinishWith(1 * time.Millisecond)
+
+	s := tr.Start("predict")
+	slowID := s.ID()
+	s.FinishWith(900 * time.Millisecond)
+
+	var lastBoringID string
+	for i := 0; i < 10; i++ {
+		b := tr.Start("predict")
+		b.SetStatus(200)
+		lastBoringID = b.ID()
+		b.FinishWith(time.Duration(i+2) * time.Millisecond)
+	}
+
+	dump := tr.Dump()
+	if dump.Recorded != 12 {
+		t.Fatalf("recorded = %d, want 12", dump.Recorded)
+	}
+	if dump.Dropped != dump.Recorded-int64(dump.Kept) {
+		t.Fatalf("dropped %d inconsistent with recorded %d kept %d", dump.Dropped, dump.Recorded, dump.Kept)
+	}
+	kept := map[string][]string{}
+	for _, x := range dump.Traces {
+		kept[x.TraceID] = x.Kept
+	}
+	has := func(id, reason string) bool {
+		for _, r := range kept[id] {
+			if r == reason {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(errID, "error") {
+		t.Fatalf("429 trace %s not error-kept: %v", errID, kept[errID])
+	}
+	if has(errID, "recent") {
+		t.Fatalf("429 trace %s still in recent after 10 later traces", errID)
+	}
+	if !has(slowID, "slow") {
+		t.Fatalf("slowest trace %s not slow-kept: %v", slowID, kept[slowID])
+	}
+	if !has(lastBoringID, "recent") {
+		t.Fatalf("most recent trace %s not recent-kept", lastBoringID)
+	}
+	// The slow bucket holds exactly SlowN=2: the 900ms outlier and the
+	// 11ms tail of the boring flood.
+	slowCount := 0
+	for _, reasons := range kept {
+		for _, r := range reasons {
+			if r == "slow" {
+				slowCount++
+			}
+		}
+	}
+	if slowCount != 2 {
+		t.Fatalf("slow-kept %d traces, want 2", slowCount)
+	}
+	// Early boring traces are gone entirely.
+	if len(dump.Traces) >= 12 {
+		t.Fatalf("recorder kept everything (%d); the boring middle must drop", len(dump.Traces))
+	}
+}
+
+// TestTraceJSONShape checks the rendered tree: nested spans, typed
+// attributes, status/error propagation, and that WriteJSONL emits one
+// valid JSON object per retained trace.
+func TestTraceJSONShape(t *testing.T) {
+	tracer := New(Config{Seed: 3})
+	tr := tracer.Start("predict")
+	tr.SetInt("clips", 2)
+	q := tr.StartSpan("queue")
+	q.SetStr("batch_id", "b1")
+	q.EndWith(5 * time.Millisecond)
+	ex := tr.StartSpan("extract")
+	inner := ex.Child("tile")
+	inner.SetInt("tx", 1)
+	inner.EndWith(time.Millisecond)
+	ex.EndWith(2 * time.Millisecond)
+	tr.SetStatus(504)
+	tr.SetError("deadline")
+	tr.FinishWith(10 * time.Millisecond)
+
+	snap := tracer.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d traces, want 1", len(snap))
+	}
+	x := snap[0]
+	if x.Name != "predict" || x.Status != 504 || x.Error != "deadline" {
+		t.Fatalf("root fields wrong: %+v", x)
+	}
+	if x.DurationSeconds != 0.010 {
+		t.Fatalf("duration = %v, want 0.010", x.DurationSeconds)
+	}
+	if got := x.Attrs["clips"]; got != int64(2) && got != float64(2) {
+		t.Fatalf("clips attr = %v (%T)", got, got)
+	}
+	if len(x.Spans) != 2 || x.Spans[0].Name != "queue" || x.Spans[1].Name != "extract" {
+		t.Fatalf("spans wrong: %+v", x.Spans)
+	}
+	if x.Spans[0].Attrs["batch_id"] != "b1" {
+		t.Fatalf("queue attrs wrong: %v", x.Spans[0].Attrs)
+	}
+	if len(x.Spans[1].Children) != 1 || x.Spans[1].Children[0].Name != "tile" {
+		t.Fatalf("nested span wrong: %+v", x.Spans[1])
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("JSONL has %d lines, want 1", len(lines))
+	}
+	var round TraceJSON
+	if err := json.Unmarshal([]byte(lines[0]), &round); err != nil {
+		t.Fatalf("JSONL line does not parse: %v", err)
+	}
+	if round.TraceID != x.TraceID {
+		t.Fatalf("round-trip ID %s != %s", round.TraceID, x.TraceID)
+	}
+
+	// Same story through WriteJSON (the /debug/trace body).
+	buf.Reset()
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump DumpJSON
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("WriteJSON body does not parse: %v", err)
+	}
+	if dump.Recorded != 1 || dump.Kept != 1 {
+		t.Fatalf("dump accounting wrong: %+v", dump)
+	}
+}
+
+// TestTraceConcurrentMutation: spans created/ended and attributes set
+// from many goroutines while another goroutine renders snapshots — the
+// per-trace lock must keep this race-clean (run under -race via check.sh).
+func TestTraceConcurrentMutation(t *testing.T) {
+	tracer := New(Config{Seed: 5})
+	tr := tracer.Start("batch")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.StartSpan("member")
+				sp.SetInt("i", int64(i))
+				sp.EndWith(time.Microsecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			tracer.Snapshot()
+		}
+	}()
+	wg.Wait()
+	tr.FinishWith(time.Millisecond)
+	<-done
+	snap := tracer.Snapshot()
+	if len(snap) != 1 || len(snap[0].Spans) != 400 {
+		t.Fatalf("got %d traces / %d spans, want 1 / 400", len(snap), len(snap[0].Spans))
+	}
+}
+
+// BenchmarkDarkTrace measures the instrumentation tax with tracing
+// disabled — the acceptance gate is 0 B/op.
+func BenchmarkDarkTrace(b *testing.B) {
+	var tracer *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Start("predict")
+		tr.SetInt("size", 4)
+		sp := tr.StartSpan("queue")
+		sp.SetStr("batch_id", tr.ID())
+		sp.EndWith(time.Millisecond)
+		tr.SetStatus(200)
+		tr.FinishWith(time.Millisecond)
+	}
+}
+
+// BenchmarkLitTrace is the lit-side cost for contrast (allocations are
+// expected here; the point is they only exist when the operator asks).
+func BenchmarkLitTrace(b *testing.B) {
+	tracer := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Start("predict")
+		tr.SetInt("size", 4)
+		sp := tr.StartSpan("queue")
+		sp.SetStr("batch_id", tr.ID())
+		sp.EndWith(time.Millisecond)
+		tr.SetStatus(200)
+		tr.FinishWith(time.Millisecond)
+	}
+}

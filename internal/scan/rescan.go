@@ -41,18 +41,28 @@ func (s *Scanner) Rescan(e layout.Edit) (*Result, error) {
 	bx1 := minInt(s.nbx, (dirty.X1-f.X0+s.blockNM-1)/s.blockNM)
 	by1 := minInt(s.nby, (dirty.Y1-f.Y0+s.blockNM-1)/s.blockNM)
 
+	str := s.cfg.Tracer.Start("rescan")
 	watch := obs.NewStopwatch()
+	ex := str.StartSpan("extract")
 	tilesX := (bx1 - bx0 + s.tileBlocks - 1) / s.tileBlocks
 	tilesY := (by1 - by0 + s.tileBlocks - 1) / s.tileBlocks
 	err = s.pool.For(tilesX*tilesY, func(worker, t int) error {
 		tx, ty := t%tilesX, t/tilesX
 		tbx0, tby0 := bx0+tx*s.tileBlocks, by0+ty*s.tileBlocks
 		tbx1, tby1 := minInt(tbx0+s.tileBlocks, bx1), minInt(tby0+s.tileBlocks, by1)
-		return s.encodeRegion(worker, tbx0, tby0, tbx1, tby1)
+		tsp := ex.Child("tile")
+		tsp.SetInt("tx", int64(tx))
+		tsp.SetInt("ty", int64(ty))
+		tsp.SetInt("blocks", int64((tbx1-tbx0)*(tby1-tby0)))
+		encErr := s.encodeRegion(worker, tbx0, tby0, tbx1, tby1)
+		tsp.End()
+		return encErr
 	})
-	obs.Default().Stage("scan/extract").ObserveDuration(watch.Elapsed())
+	d := watch.Elapsed()
+	obs.Default().Stage("scan/extract").ObserveDuration(d)
+	ex.EndWith(d)
 	if err != nil {
-		return nil, err
+		return nil, s.fail(str, err)
 	}
 
 	// Affected windows: window (wx, wy) gathers blocks [wx, wx+n)×[wy,
@@ -63,12 +73,20 @@ func (s *Scanner) Rescan(e layout.Edit) (*Result, error) {
 	wy1 := minInt(s.wny, by1)
 
 	watch = obs.NewStopwatch()
+	in := str.StartSpan("infer")
 	err = s.pool.For(wy1-wy0, func(worker, j int) error {
-		return s.scoreRow(worker, wy0+j, wx0, wx1)
+		rsp := in.Child("row")
+		rsp.SetInt("wy", int64(wy0+j))
+		rsp.SetInt("windows", int64(wx1-wx0))
+		rowErr := s.scoreRow(worker, wy0+j, wx0, wx1)
+		rsp.End()
+		return rowErr
 	})
-	obs.Default().Stage("scan/infer").ObserveDuration(watch.Elapsed())
+	d = watch.Elapsed()
+	obs.Default().Stage("scan/infer").ObserveDuration(d)
+	in.EndWith(d)
 	if err != nil {
-		return nil, err
+		return nil, s.fail(str, err)
 	}
 
 	dirtyBlocks := (bx1 - bx0) * (by1 - by0)
@@ -79,5 +97,5 @@ func (s *Scanner) Rescan(e layout.Edit) (*Result, error) {
 		Windows:      windows,
 		BlockGathers: int64(windows) * int64(s.n*s.n),
 	}
-	return s.finish(st), nil
+	return s.finish(st, str), nil
 }

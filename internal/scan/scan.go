@@ -37,6 +37,7 @@ import (
 	"hotspot/internal/geom"
 	"hotspot/internal/nn"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/tensor"
@@ -60,6 +61,11 @@ type Config struct {
 	// Shift is the decision-boundary shift of train.Decide: a window is
 	// hot when prob > 0.5 − Shift.
 	Shift float64
+	// Tracer, when non-nil, records one trace tree per (re)scan pass:
+	// extract/infer/regions spans with per-tile and per-window-row child
+	// spans and cache-attribution attributes. Observation only — the heat
+	// map is bit-identical with tracing lit or dark. Nil is free.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's clip geometry: 1200 nm windows under
@@ -241,26 +247,46 @@ func (s *Scanner) Scan() (*Result, error) {
 	if err := s.ev.Prepare([]int{s.k, s.n, s.n}); err != nil {
 		return nil, err
 	}
+	str := s.cfg.Tracer.Start("scan")
 	tilesX := (s.nbx + s.tileBlocks - 1) / s.tileBlocks
 	tilesY := (s.nby + s.tileBlocks - 1) / s.tileBlocks
 	watch := obs.NewStopwatch()
+	ex := str.StartSpan("extract")
+	// Per-tile spans live in this closure, not in encodeRegion: the
+	// hotpath kernel stays span-free and the spans no-op when dark.
 	err := s.pool.For(tilesX*tilesY, func(worker, t int) error {
 		tx, ty := t%tilesX, t/tilesX
 		bx0, by0 := tx*s.tileBlocks, ty*s.tileBlocks
 		bx1, by1 := minInt(bx0+s.tileBlocks, s.nbx), minInt(by0+s.tileBlocks, s.nby)
-		return s.encodeRegion(worker, bx0, by0, bx1, by1)
+		tsp := ex.Child("tile")
+		tsp.SetInt("tx", int64(tx))
+		tsp.SetInt("ty", int64(ty))
+		tsp.SetInt("blocks", int64((bx1-bx0)*(by1-by0)))
+		encErr := s.encodeRegion(worker, bx0, by0, bx1, by1)
+		tsp.End()
+		return encErr
 	})
-	obs.Default().Stage("scan/extract").ObserveDuration(watch.Elapsed())
+	d := watch.Elapsed()
+	obs.Default().Stage("scan/extract").ObserveDuration(d)
+	ex.EndWith(d)
 	if err != nil {
-		return nil, err
+		return nil, s.fail(str, err)
 	}
 	watch = obs.NewStopwatch()
+	in := str.StartSpan("infer")
 	err = s.pool.For(s.wny, func(worker, wy int) error {
-		return s.scoreRow(worker, wy, 0, s.wnx)
+		rsp := in.Child("row")
+		rsp.SetInt("wy", int64(wy))
+		rsp.SetInt("windows", int64(s.wnx))
+		rowErr := s.scoreRow(worker, wy, 0, s.wnx)
+		rsp.End()
+		return rowErr
 	})
-	obs.Default().Stage("scan/infer").ObserveDuration(watch.Elapsed())
+	d = watch.Elapsed()
+	obs.Default().Stage("scan/infer").ObserveDuration(d)
+	in.EndWith(d)
 	if err != nil {
-		return nil, err
+		return nil, s.fail(str, err)
 	}
 	s.scanned = true
 	st := Stats{
@@ -268,7 +294,16 @@ func (s *Scanner) Scan() (*Result, error) {
 		Windows:      s.wnx * s.wny,
 		BlockGathers: int64(s.wnx*s.wny) * int64(s.n*s.n),
 	}
-	return s.finish(st), nil
+	return s.finish(st, str), nil
+}
+
+// fail closes a pass trace on an error path and passes the error through.
+func (s *Scanner) fail(tr *trace.Trace, err error) error {
+	if tr != nil {
+		tr.SetError(err.Error())
+		tr.Finish()
+	}
+	return err
 }
 
 // encodeRegion rasterizes the block range [bx0,bx1)×[by0,by1) and encodes
@@ -343,8 +378,9 @@ func (s *Scanner) assembleWindow(dst []float64, wx, wy int) {
 }
 
 // finish derives the thresholded heat map and region proposals from the
-// current probability grid and publishes pass metrics.
-func (s *Scanner) finish(st Stats) *Result {
+// current probability grid, publishes pass metrics, and closes the pass
+// trace (tr is nil when tracing is dark).
+func (s *Scanner) finish(st Stats, tr *trace.Trace) *Result {
 	res := &Result{
 		WindowsX: s.wnx, WindowsY: s.wny,
 		Probs: append([]float64(nil), s.probs...),
@@ -355,7 +391,9 @@ func (s *Scanner) finish(st Stats) *Result {
 	}
 	watch := obs.NewStopwatch()
 	res.Regions = mergeRegions(res.Hot, res.Probs, s.wnx, s.wny, s)
-	obs.Default().Stage("scan/regions").ObserveDuration(watch.Elapsed())
+	d := watch.Elapsed()
+	obs.Default().Stage("scan/regions").ObserveDuration(d)
+	tr.StartSpan("regions").EndWith(d)
 
 	demand := st.BlockGathers + int64(st.BlockDCTs)
 	if demand > 0 {
@@ -368,6 +406,13 @@ func (s *Scanner) finish(st Stats) *Result {
 	reg.Counter("hsd_scan_windows_total").Add(int64(st.Windows))
 	reg.Counter("hsd_scan_dirty_blocks_total").Add(int64(st.DirtyBlocks))
 	reg.Gauge("hsd_scan_block_cache_hit_rate", 4).Set(st.CacheHitRate)
+	tr.SetInt("block_dcts", int64(st.BlockDCTs))
+	tr.SetInt("block_gathers", st.BlockGathers)
+	tr.SetInt("windows", int64(st.Windows))
+	tr.SetInt("dirty_blocks", int64(st.DirtyBlocks))
+	tr.SetInt("regions", int64(len(res.Regions)))
+	tr.SetFloat("cache_hit_rate", st.CacheHitRate)
+	tr.Finish()
 	return res
 }
 

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"hotspot/internal/feature"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/tensor"
@@ -33,6 +35,10 @@ type request struct {
 	key  uint64
 	resp chan result
 	enq  obs.Stopwatch // started at enqueue; read when the batch starts (queue stage)
+	// qspan is the request trace's queue-wait span, set by the handler
+	// before enqueue and ended by the flush loop when the batch picks the
+	// request up. Nil when tracing is dark; all span methods no-op then.
+	qspan *trace.Span
 }
 
 // result is the outcome delivered back to the waiting handler.
@@ -200,17 +206,37 @@ type extraction struct {
 //hsd:hotpath
 func (b *batcher) run(batch []*request) {
 	watch := obs.NewStopwatch()
+	btr := b.srv.tracer.Start("batch")
 	m := b.srv.model.Load() //hsd:allow hotlint one atomic pointer read per micro-batch pins the model across the batch
 	if m == nil {
 		for _, r := range batch {
+			r.qspan.End()
 			r.resp <- result{err: ErrNoModel} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
 		}
+		btr.SetStatus(503)
+		btr.SetError("no model loaded")
+		btr.FinishWith(watch.Elapsed())
 		return
 	}
 	n := len(batch)
 	b.srv.metrics.batch(n)
+	btr.SetInt("size", int64(n))
+	btr.SetInt("model_generation", int64(m.generation))
 	for _, r := range batch {
-		b.srv.metrics.stage(stageQueue, r.enq.Elapsed())
+		dq := r.enq.Elapsed()
+		b.srv.metrics.stage(stageQueue, dq)
+		r.qspan.EndWith(dq)
+		r.qspan.SetStr("batch_id", btr.ID())
+	}
+	// Batch linkage, the reverse direction: the batch trace names the
+	// request traces that rode in it. Guarded by a nil check because the
+	// indexed keys are built with strconv — never on the dark path.
+	if btr != nil {
+		for i, r := range batch {
+			if r.qspan != nil {
+				btr.SetStr("member_"+strconv.Itoa(i), r.qspan.TraceID())
+			}
+		}
 	}
 
 	extractWatch := obs.NewStopwatch()
@@ -218,7 +244,9 @@ func (b *batcher) run(batch []*request) {
 		x, err := feature.ExtractTensorFromImage(batch[i].im, b.srv.cfg.Feature)
 		return extraction{x: x, err: err}, nil
 	})
-	b.srv.metrics.stage(stageExtract, extractWatch.Elapsed())
+	de := extractWatch.Elapsed()
+	b.srv.metrics.stage(stageExtract, de)
+	btr.StartSpan("extract").EndWith(de)
 
 	xs := b.xs[:0]
 	idx := b.idx[:0]
@@ -233,7 +261,9 @@ func (b *batcher) run(batch []*request) {
 	if len(xs) > 0 {
 		inferWatch := obs.NewStopwatch()
 		probs, err := m.ev.PredictProbs(xs)
-		b.srv.metrics.stage(stageInfer, inferWatch.Elapsed())
+		di := inferWatch.Elapsed()
+		b.srv.metrics.stage(stageInfer, di)
+		btr.StartSpan("infer").EndWith(di)
 		for j, i := range idx {
 			if err != nil {
 				batch[i].resp <- result{err: err} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
@@ -243,5 +273,7 @@ func (b *batcher) run(batch []*request) {
 			batch[i].resp <- result{prob: probs[j]} //hsd:allow hotlint reply into the request's cap-1 buffered channel; never blocks
 		}
 	}
-	b.srv.metrics.stage(stageBatch, watch.Elapsed())
+	db := watch.Elapsed()
+	b.srv.metrics.stage(stageBatch, db)
+	btr.FinishWith(db)
 }

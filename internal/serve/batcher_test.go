@@ -7,6 +7,7 @@ import (
 
 	"hotspot/internal/feature"
 	"hotspot/internal/geom"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 )
@@ -196,5 +197,45 @@ func TestConfigValidate(t *testing.T) {
 	solo.MaxWait = 0
 	if err := solo.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// darkTraceSequence replays exactly the trace calls the batcher and the
+// predict path make per request when tracing is dark (nil tracer): the
+// zero-allocations-when-dark contract, measured where it matters.
+func darkTraceSequence(tracer *trace.Tracer, req *request) {
+	btr := tracer.Start("batch")
+	btr.SetInt("size", 1)
+	btr.SetInt("model_generation", 1)
+	req.qspan.EndWith(0)
+	req.qspan.SetStr("batch_id", btr.ID())
+	if btr != nil {
+		btr.SetStr("member_0", req.qspan.TraceID())
+	}
+	btr.StartSpan("extract").EndWith(0)
+	btr.StartSpan("infer").EndWith(0)
+	btr.FinishWith(0)
+}
+
+// TestBatcherDarkTraceZeroAlloc pins the hot-path contract directly:
+// with tracing disabled the full per-batch instrumentation sequence
+// allocates nothing.
+func TestBatcherDarkTraceZeroAlloc(t *testing.T) {
+	req := &request{} // dark server: no trace, no qspan
+	allocs := testing.AllocsPerRun(200, func() {
+		darkTraceSequence(nil, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("dark batcher tracing allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkBatcherDarkTrace is the 0 B/op acceptance benchmark for the
+// serving hot path with tracing disabled.
+func BenchmarkBatcherDarkTrace(b *testing.B) {
+	req := &request{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		darkTraceSequence(nil, req)
 	}
 }

@@ -8,35 +8,50 @@ import (
 	"hotspot/internal/obs"
 )
 
-// DebugHandler wraps the server with an optional debug surface. With
-// debug off (the default) it returns srv unchanged, so /debug/* 404s like
-// any unknown path. With debug on it mounts, next to the service's own
-// endpoints:
+// DebugHandler wraps the server with its optional debug surface. With
+// debug off and tracing dark (the defaults) it returns srv unchanged, so
+// /debug/* 404s like any unknown path. With debug on it mounts, next to
+// the service's own endpoints:
 //
 //	/debug/pprof/...   the standard net/http/pprof profile endpoints
 //	/debug/obs         a text dump of the server's metrics registry
 //	                   followed by the process-wide obs.Default registry
 //
-// The profile endpoints expose internals (stacks, heap contents), so the
-// flag gating this must stay off by default and on trusted interfaces
-// only.
+// Independently, when the server was built with request tracing lit
+// (Config.Trace), it mounts:
+//
+//	/debug/trace       a JSON dump of the flight recorder — every trace
+//	                   retained by the tail-keep policy, with keep reasons
+//
+// Each endpoint is gated by its own switch: -pprof does not expose traces
+// and -trace does not expose profiles. Both expose internals (stacks,
+// heap contents, request attributes), so the flags gating them must stay
+// off by default and on trusted interfaces only.
 func DebugHandler(srv *Server, debug bool) http.Handler {
-	if !debug {
+	if !debug && srv.Tracer() == nil {
 		return srv
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = io.WriteString(w, "# server registry\n")
-		_ = srv.Registry().WriteText(w)
-		_, _ = io.WriteString(w, "# process registry\n")
-		_ = obs.Default().WriteText(w)
-	})
+	if debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = io.WriteString(w, "# server registry\n")
+			_ = srv.Registry().WriteText(w)
+			_, _ = io.WriteString(w, "# process registry\n")
+			_ = obs.Default().WriteText(w)
+		})
+	}
+	if srv.Tracer() != nil {
+		mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = srv.Tracer().WriteJSON(w)
+		})
+	}
 	return mux
 }

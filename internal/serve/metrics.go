@@ -33,6 +33,12 @@ type metrics struct {
 	misses   *obs.Counter
 	batches  *obs.IntHist
 	cacheLen func() int
+
+	// buildLabels remembers the label set of the current hsd_build_info
+	// series so a model swap can zero the superseded generation's series
+	// before registering the new one. Guarded by the server's reloadMu
+	// (buildInfo is only called from LoadNetwork).
+	buildLabels []obs.Label
 }
 
 func newMetrics(cacheLen func() int) *metrics {
@@ -84,6 +90,33 @@ func (m *metrics) batch(size int) { m.batches.Observe(size) }
 
 func (m *metrics) stage(name string, d time.Duration) {
 	m.reg.Stage(name).ObserveDuration(d)
+}
+
+// stageExemplar records a stage latency tagged with the request's trace
+// ID, so the scrape's q="max" exemplar line links the slowest windowed
+// request into GET /debug/trace. An empty ID (tracing dark) records a
+// plain observation.
+func (m *metrics) stageExemplar(name string, d time.Duration, traceID string) {
+	s := m.reg.Stage(name)
+	if traceID == "" {
+		s.ObserveDuration(d)
+		return
+	}
+	s.ObserveExemplar(d.Seconds(), traceID)
+}
+
+// buildInfo (re)registers the hsd_build_info gauge for a freshly
+// installed model generation: binary identity labels plus the model
+// generation and fused-engine flag. Called under the server's reloadMu.
+func (m *metrics) buildInfo(generation int, fused bool) {
+	if m.buildLabels != nil {
+		m.reg.Gauge(obs.BuildInfoMetric, -1, m.buildLabels...).Set(0)
+	}
+	labels := obs.BuildLabels(
+		obs.L("model_generation", strconv.Itoa(generation)),
+		obs.L("fused", strconv.FormatBool(fused)))
+	m.reg.Gauge(obs.BuildInfoMetric, -1, labels...).Set(1)
+	m.buildLabels = labels
 }
 
 // StageStats summarizes one pipeline stage's latency.

@@ -63,6 +63,10 @@ func (s *Server) LoadNetwork(net *nn.Network, origin string) error {
 	}
 	s.model.Store(&model{net: net, ev: ev, origin: origin, generation: gen})
 	s.cache.clear()
+	// Re-register build info for the new generation so every scrape names
+	// the model it was taken against (the superseded generation's series
+	// drops to 0). Serialized by reloadMu.
+	s.metrics.buildInfo(gen, ev.FusedActive())
 	return nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"hotspot/internal/feature"
 	"hotspot/internal/geom"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/raster"
 	"hotspot/internal/train"
@@ -65,6 +66,13 @@ type Config struct {
 	Shift float64
 	// RequestTimeout bounds how long a request waits for its prediction.
 	RequestTimeout time.Duration
+	// Trace, when non-nil, lights request tracing: every predict request
+	// records a span tree into an in-memory flight recorder (see
+	// internal/obs/trace) and GET /debug/trace is mounted by DebugHandler.
+	// Nil (the default) is dark: zero allocations on the serving hot path
+	// and no trace endpoint. Tracing is observation-only — served
+	// probabilities are bit-identical lit or dark (parity-tested).
+	Trace *trace.Config
 }
 
 // DefaultConfig serves the paper-shaped model: 1200 nm cores into
@@ -117,6 +125,7 @@ type Server struct {
 	cache   *clipCache
 	metrics *metrics
 	batcher *batcher
+	tracer  *trace.Tracer // nil when tracing is dark
 	mux     *http.ServeMux
 	closed  atomic.Bool
 
@@ -135,6 +144,9 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		cache: newClipCache(cfg.CacheSize),
+	}
+	if cfg.Trace != nil {
+		s.tracer = trace.New(*cfg.Trace)
 	}
 	s.metrics = newMetrics(s.cache.len)
 	s.batcher = newBatcher(s, cfg.QueueSize, cfg.MaxBatch, cfg.MaxWait, parallel.New(cfg.Workers))
@@ -167,6 +179,10 @@ func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
 // Registry returns the server's metrics registry (each server owns a
 // private one), for debug endpoints and programmatic scrapes.
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer returns the server's request tracer, or nil when tracing is
+// dark (Config.Trace unset).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // CenteredCore returns the side×side core window centered in frame (the
 // default scoring window when a request names no explicit core).
@@ -295,16 +311,22 @@ func (s *Server) coreImage(cr ClipRequest) (*raster.Image, error) {
 }
 
 // predictOne resolves one core image to a verdict: cache lookup, then
-// enqueue and wait for the micro-batcher.
-func (s *Server) predictOne(ctx context.Context, im *raster.Image) (PredictResponse, error) {
+// enqueue and wait for the micro-batcher. qparent, when tracing is lit,
+// is the span the request's queue wait is recorded under (the trace root
+// for single predicts, the per-clip span for batch requests); nil spans
+// no-op.
+func (s *Server) predictOne(ctx context.Context, im *raster.Image, qparent *trace.Span) (PredictResponse, error) {
 	key := hashImage(im)
 	if p, ok := s.cache.get(key); ok {
 		s.metrics.cache(true)
+		qparent.SetBool("cache_hit", true)
 		return PredictResponse{Prob: p, Hotspot: train.Decide(p, s.cfg.Shift), Cached: true}, nil
 	}
 	s.metrics.cache(false)
-	req := &request{im: im, key: key, resp: make(chan result, 1)}
+	qparent.SetBool("cache_hit", false)
+	req := &request{im: im, key: key, resp: make(chan result, 1), qspan: qparent.Child("queue")}
 	if err := s.batcher.enqueue(req); err != nil {
+		req.qspan.EndWith(0) // never reached the queue
 		return PredictResponse{}, err
 	}
 	select {
@@ -336,92 +358,143 @@ func statusOf(err error) int {
 
 // --- handlers ---
 
+// failTrace closes a request trace on an error path: outcome recorded,
+// duration from the handler's own stopwatch. Nil-safe (dark tracing).
+func failTrace(tr *trace.Trace, watch obs.Stopwatch, status int, msg string) {
+	if tr == nil {
+		return
+	}
+	tr.SetStatus(status)
+	tr.SetError(msg)
+	tr.FinishWith(watch.Elapsed())
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	watch := obs.NewStopwatch()
+	tr := s.tracer.Start("predict")
+	dec := tr.StartSpan("decode")
 	var cr ClipRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&cr); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		msg := "bad request body: " + err.Error()
+		failTrace(tr, watch, http.StatusBadRequest, msg)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 		return
 	}
 	im, err := s.coreImage(cr)
+	dec.End()
 	if err != nil {
+		failTrace(tr, watch, http.StatusBadRequest, err.Error())
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	resp, err := s.predictOne(ctx, im)
+	resp, err := s.predictOne(ctx, im, tr.Root())
 	if err != nil {
+		failTrace(tr, watch, statusOf(err), err.Error())
 		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 		return
 	}
-	s.metrics.stage(stageRequest, watch.Elapsed())
+	d := watch.Elapsed()
+	s.metrics.stageExemplar(stageRequest, d, tr.ID())
+	tr.SetStatus(http.StatusOK)
+	tr.FinishWith(d)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	watch := obs.NewStopwatch()
+	tr := s.tracer.Start("predict_batch")
+	dec := tr.StartSpan("decode")
 	var br BatchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&br); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		msg := "bad request body: " + err.Error()
+		failTrace(tr, watch, http.StatusBadRequest, msg)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 		return
 	}
 	if len(br.Clips) == 0 {
+		failTrace(tr, watch, http.StatusBadRequest, "no clips")
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no clips"})
 		return
 	}
 	if len(br.Clips) > maxBatchClips {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("%d clips exceeds the %d-clip limit", len(br.Clips), maxBatchClips)})
+		msg := fmt.Sprintf("%d clips exceeds the %d-clip limit", len(br.Clips), maxBatchClips)
+		failTrace(tr, watch, http.StatusBadRequest, msg)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 		return
 	}
+	tr.SetInt("clips", int64(len(br.Clips)))
 	ims := make([]*raster.Image, len(br.Clips))
 	for i, cr := range br.Clips {
 		im, err := s.coreImage(cr)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("clip %d: %v", i, err)})
+			msg := fmt.Sprintf("clip %d: %v", i, err)
+			failTrace(tr, watch, http.StatusBadRequest, msg)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 			return
 		}
 		ims[i] = im
 	}
+	dec.End()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	// Resolve cache hits and enqueue the misses before waiting on any of
 	// them, so one batch request can fill whole micro-batches.
 	results := make([]PredictResponse, len(ims))
 	type pending struct {
-		i   int
-		req *request
+		i    int
+		req  *request
+		span *trace.Span
 	}
 	var waits []pending
+	hits := 0
 	for i, im := range ims {
 		key := hashImage(im)
 		if p, ok := s.cache.get(key); ok {
 			s.metrics.cache(true)
+			hits++
 			results[i] = PredictResponse{Prob: p, Hotspot: train.Decide(p, s.cfg.Shift), Cached: true}
 			continue
 		}
 		s.metrics.cache(false)
-		req := &request{im: im, key: key, resp: make(chan result, 1)}
+		csp := tr.StartSpan("clip")
+		csp.SetInt("index", int64(i))
+		csp.SetBool("cache_hit", false)
+		req := &request{im: im, key: key, resp: make(chan result, 1), qspan: csp.Child("queue")}
 		if err := s.batcher.enqueue(req); err != nil {
-			writeJSON(w, statusOf(err), errorResponse{Error: fmt.Sprintf("clip %d: %v", i, err)})
+			req.qspan.EndWith(0) // never reached the queue
+			csp.End()
+			msg := fmt.Sprintf("clip %d: %v", i, err)
+			failTrace(tr, watch, statusOf(err), msg)
+			writeJSON(w, statusOf(err), errorResponse{Error: msg})
 			return
 		}
-		waits = append(waits, pending{i: i, req: req})
+		waits = append(waits, pending{i: i, req: req, span: csp})
 	}
+	tr.SetInt("cache_hits", int64(hits))
 	for _, p := range waits {
 		select {
 		case res := <-p.req.resp:
+			p.span.End()
 			if res.err != nil {
-				writeJSON(w, statusOf(res.err), errorResponse{Error: fmt.Sprintf("clip %d: %v", p.i, res.err)})
+				msg := fmt.Sprintf("clip %d: %v", p.i, res.err)
+				failTrace(tr, watch, statusOf(res.err), msg)
+				writeJSON(w, statusOf(res.err), errorResponse{Error: msg})
 				return
 			}
 			results[p.i] = PredictResponse{Prob: res.prob, Hotspot: train.Decide(res.prob, s.cfg.Shift)}
 		case <-ctx.Done():
+			p.span.End()
+			failTrace(tr, watch, statusOf(ctx.Err()), ctx.Err().Error())
 			writeJSON(w, statusOf(ctx.Err()), errorResponse{Error: ctx.Err().Error()})
 			return
 		}
 	}
-	s.metrics.stage(stageRequest, watch.Elapsed())
+	d := watch.Elapsed()
+	s.metrics.stageExemplar(stageRequest, d, tr.ID())
+	tr.SetStatus(http.StatusOK)
+	tr.FinishWith(d)
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 

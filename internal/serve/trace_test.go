@@ -1,0 +1,150 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hotspot/internal/obs/trace"
+	"hotspot/internal/serve"
+)
+
+// traceConfig is testConfig with request tracing lit.
+func traceConfig() serve.Config {
+	cfg := testConfig()
+	cfg.Trace = &trace.Config{Seed: 11}
+	return cfg
+}
+
+// TestServeTraceParity is the serving half of the instrumentation-parity
+// contract: a traced server and a dark server with the same weights
+// return bit-identical probabilities for the same clips.
+func TestServeTraceParity(t *testing.T) {
+	_, darkTS := newTestServer(t, testConfig(), 41)
+	_, litTS := newTestServer(t, traceConfig(), 41)
+	clips := testClips(24, 17)
+	for i, c := range clips {
+		respD, rawD := postJSON(t, darkTS.Client(), darkTS.URL+"/v1/predict", clipRequest(c))
+		respL, rawL := postJSON(t, litTS.Client(), litTS.URL+"/v1/predict", clipRequest(c))
+		if respD.StatusCode != http.StatusOK || respL.StatusCode != http.StatusOK {
+			t.Fatalf("clip %d: status dark=%d lit=%d", i, respD.StatusCode, respL.StatusCode)
+		}
+		pd, pl := decodePredict(t, rawD), decodePredict(t, rawL)
+		if math.Float64bits(pd.Prob) != math.Float64bits(pl.Prob) || pd.Hotspot != pl.Hotspot {
+			t.Fatalf("clip %d: traced prob %v != dark prob %v", i, pl.Prob, pd.Prob)
+		}
+	}
+}
+
+// TestRequestTraceTree drives one miss and one hit through a traced
+// server and checks the recorded shapes: the predict trace carries
+// decode and queue spans, the queue span names its batch, the batch
+// trace names the member request back, and the cached repeat is marked
+// cache_hit with no queue wait.
+func TestRequestTraceTree(t *testing.T) {
+	srv, ts := newTestServer(t, traceConfig(), 41)
+	clip := clipRequest(testClips(1, 3)[0])
+	for i := 0; i < 2; i++ { // second request answers from the clip cache
+		if resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/predict", clip); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// The batch trace is finished by the flush loop after replies go out,
+	// so it can trail the HTTP response by a moment: poll for it.
+	var missT, hitT, batchT *trace.TraceJSON
+	for attempt := 0; attempt < 200 && batchT == nil; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Millisecond)
+		}
+		snap := srv.Tracer().Snapshot()
+		missT, hitT, batchT = nil, nil, nil
+		for i := range snap {
+			x := snap[i]
+			switch {
+			case x.Name == "batch":
+				batchT = &snap[i]
+			case x.Name == "predict" && x.Attrs["cache_hit"] == true:
+				hitT = &snap[i]
+			case x.Name == "predict":
+				missT = &snap[i]
+			}
+		}
+	}
+	if missT == nil || hitT == nil || batchT == nil {
+		t.Fatalf("recorder missing traces: miss=%v hit=%v batch=%v", missT != nil, hitT != nil, batchT != nil)
+	}
+	if missT.Status != http.StatusOK || missT.Attrs["cache_hit"] != false {
+		t.Fatalf("miss trace wrong: %+v", missT)
+	}
+	spans := map[string]trace.SpanJSON{}
+	for _, sp := range missT.Spans {
+		spans[sp.Name] = sp
+	}
+	q, ok := spans["queue"]
+	if _, okDec := spans["decode"]; !ok || !okDec {
+		t.Fatalf("miss trace spans missing decode/queue: %+v", missT.Spans)
+	}
+	batchID, _ := q.Attrs["batch_id"].(string)
+	if batchID != batchT.TraceID {
+		t.Fatalf("queue batch_id %q does not name the batch trace %q", batchID, batchT.TraceID)
+	}
+	// Reverse linkage: the batch names its member request.
+	if got := batchT.Attrs["member_0"]; got != missT.TraceID {
+		t.Fatalf("batch member_0 = %v, want %s", got, missT.TraceID)
+	}
+	if batchT.Attrs["size"] != int64(1) || batchT.Attrs["model_generation"] != int64(1) {
+		t.Fatalf("batch attrs wrong: %v", batchT.Attrs)
+	}
+	bspans := map[string]bool{}
+	for _, sp := range batchT.Spans {
+		bspans[sp.Name] = true
+	}
+	if !bspans["extract"] || !bspans["infer"] {
+		t.Fatalf("batch trace spans missing extract/infer: %+v", batchT.Spans)
+	}
+	// The cache hit never queued.
+	for _, sp := range hitT.Spans {
+		if sp.Name == "queue" {
+			t.Fatalf("cache-hit trace grew a queue span: %+v", hitT.Spans)
+		}
+	}
+}
+
+// TestDebugTraceGating: /debug/trace is mounted exactly when tracing is
+// lit — independent of the pprof debug switch — and 404s when dark.
+func TestDebugTraceGating(t *testing.T) {
+	dark, _ := newTestServer(t, testConfig(), 41)
+	darkTS := httptest.NewServer(serve.DebugHandler(dark, false))
+	defer darkTS.Close()
+	if code, _ := getBody(t, darkTS.URL+"/debug/trace"); code != http.StatusNotFound {
+		t.Fatalf("dark server /debug/trace = %d, want 404", code)
+	}
+
+	lit, litTS := newTestServer(t, traceConfig(), 41)
+	postJSON(t, litTS.Client(), litTS.URL+"/v1/predict", clipRequest(testClips(1, 3)[0]))
+	debugTS := httptest.NewServer(serve.DebugHandler(lit, false))
+	defer debugTS.Close()
+	if code, _ := getBody(t, debugTS.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("tracing lit without -pprof exposed pprof: %d", code)
+	}
+	code, body := getBody(t, debugTS.URL+"/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("lit server /debug/trace = %d, want 200", code)
+	}
+	var dump trace.DumpJSON
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/trace body does not parse: %v", err)
+	}
+	if dump.Recorded < 2 || len(dump.Traces) < 2 { // predict + its batch at minimum
+		t.Fatalf("dump suspiciously empty: recorded=%d traces=%d", dump.Recorded, len(dump.Traces))
+	}
+	// The slowest request's trace ID surfaces as a /metrics exemplar.
+	if code, metrics := getBody(t, litTS.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(metrics, `q="max",trace_id="`) {
+		t.Fatalf("/metrics (%d) missing trace exemplar line:\n%s", code, metrics)
+	}
+}

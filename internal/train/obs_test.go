@@ -2,6 +2,8 @@ package train
 
 import (
 	"testing"
+
+	"hotspot/internal/obs/trace"
 )
 
 // TestMGDInstrumentationParity is the observability acceptance test: an
@@ -112,6 +114,80 @@ func TestBiasedLearningOnEpoch(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("event %d tagged %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMGDTraceParity extends the instrumentation-parity contract to the
+// epoch tracer: a traced MGD run produces weights and history
+// bit-identical to a dark run, and records one train/epoch trace per
+// validation checkpoint with the checkpoint's telemetry attributes.
+func TestMGDTraceParity(t *testing.T) {
+	samples := imbalancedToy(80, 41)
+	trainSet, valSet, err := Split(samples, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.MaxIters = 40
+	cfg.ValEvery = 10
+	cfg.Workers = 2
+
+	dark := dropoutNet(t, 43)
+	histDark, err := MGD(dark, trainSet, valSet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := dropoutNet(t, 43)
+	cfgT := cfg
+	cfgT.Tracer = trace.New(trace.Config{Seed: 13})
+	histTraced, err := MGD(traced, trainSet, valSet, cfgT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dp, tp := dark.Params(), traced.Params()
+	for i := range dp {
+		dd, td := dp[i].W.Data(), tp[i].W.Data()
+		for j := range dd {
+			if dd[j] != td[j] {
+				t.Fatalf("param %s[%d]: dark %v, traced %v — tracing changed the model",
+					dp[i].Name, j, dd[j], td[j])
+			}
+		}
+	}
+	if len(histDark) != len(histTraced) {
+		t.Fatalf("history lengths differ: dark %d, traced %d", len(histDark), len(histTraced))
+	}
+
+	var epochs []trace.TraceJSON
+	for _, tr := range cfgT.Tracer.Snapshot() {
+		if tr.Name == "train/epoch" {
+			epochs = append(epochs, tr)
+		}
+	}
+	if len(epochs) != len(histTraced) {
+		t.Fatalf("recorded %d epoch traces for %d checkpoints", len(epochs), len(histTraced))
+	}
+	for i, tr := range epochs {
+		cp := histTraced[i]
+		if tr.Attrs["iter"] != int64(cp.Iter) ||
+			tr.Attrs["loss"] != cp.TrainLoss ||
+			tr.Attrs["val_accuracy"] != cp.ValAccuracy {
+			t.Fatalf("epoch trace %d attrs %v do not mirror checkpoint %+v", i, tr.Attrs, cp)
+		}
+		if lrAttr, _ := tr.Attrs["learning_rate"].(float64); lrAttr <= 0 {
+			t.Fatalf("epoch trace %d carries no learning rate: %v", i, tr.Attrs)
+		}
+		found := false
+		for _, sp := range tr.Spans {
+			if sp.Name == "validate" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("epoch trace %d missing validate span: %+v", i, tr.Spans)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"hotspot/internal/nn"
 	"hotspot/internal/obs"
+	"hotspot/internal/obs/trace"
 	"hotspot/internal/parallel"
 	"hotspot/internal/tensor"
 )
@@ -102,6 +103,11 @@ type MGDConfig struct {
 	// and its presence cannot change the trained weights (the parity test
 	// TestMGDInstrumentationParity holds MGD to that).
 	OnEpoch func(EpochEvent)
+	// Tracer, when non-nil, records one trace per validation checkpoint
+	// ("train/epoch": iter, loss, accuracy and learning-rate attributes
+	// plus a validate span). Observation only, same contract as OnEpoch:
+	// trained weights are bit-identical with tracing lit or dark.
+	Tracer *trace.Tracer
 }
 
 // Validate checks the configuration.
@@ -373,6 +379,7 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 		stepStage.ObserveDuration(stepWatch.Elapsed())
 
 		if cfg.ValEvery > 0 && iter%cfg.ValEvery == 0 {
+			valWatch := obs.NewStopwatch()
 			var m Metrics
 			if nW > 1 {
 				syncReplicas()
@@ -385,6 +392,7 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 			if err != nil {
 				return nil, err
 			}
+			valD := valWatch.Elapsed()
 			cp := Checkpoint{
 				Iter:        iter,
 				Elapsed:     watch.Elapsed(),
@@ -395,7 +403,8 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 			}
 			lossAccum, lossCount = 0, 0
 			hist = append(hist, cp)
-			epochStage.ObserveDuration(epochWatch.Elapsed())
+			epochD := epochWatch.Elapsed()
+			epochStage.ObserveDuration(epochD)
 			epochWatch = obs.NewStopwatch()
 			if cfg.OnEpoch != nil {
 				cfg.OnEpoch(EpochEvent{
@@ -405,6 +414,13 @@ func MGD(net *nn.Network, trainSet, valSet []Sample, cfg MGDConfig) (History, er
 					StepP99:      stepStage.Quantile(0.99),
 				})
 			}
+			etr := cfg.Tracer.Start("train/epoch")
+			etr.SetInt("iter", int64(iter))
+			etr.SetFloat("loss", cp.TrainLoss)
+			etr.SetFloat("val_accuracy", cp.ValAccuracy)
+			etr.SetFloat("learning_rate", lr)
+			etr.StartSpan("validate").EndWith(valD)
+			etr.FinishWith(epochD)
 			if m.Accuracy > bestAcc {
 				bestAcc = m.Accuracy
 				sinceBest = 0

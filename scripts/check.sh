@@ -28,6 +28,12 @@
 #                            exhaust mid-batch, asserts exact ODST-seconds
 #                            accounting, truncation, the JSONL manifest and
 #                            the hsd_litho_*/hsd_active_* metrics series
+#  10. scripts/tracesmoke    hsd-serve trace smoke: /debug/trace dark by
+#                            default (404), then -trace with mixed
+#                            fast/slow/429 traffic asserting tail-keep
+#                            retention, request/batch stage trees with
+#                            cross-linkage, and the p99 trace-ID exemplar
+#                            on the metrics scrape
 #
 # Usage: scripts/check.sh [-short|-lint-only]
 #   -short      pass -short to go test (skips the slow experiment suites)
@@ -77,5 +83,8 @@ go run ./scripts/scansmoke
 
 echo "==> hsd-active smoke"
 go run ./scripts/activesmoke
+
+echo "==> hsd-serve trace smoke"
+go run ./scripts/tracesmoke
 
 echo "check gate: all legs green"

@@ -1,0 +1,437 @@
+// Command tracesmoke is the request-tracing end-to-end smoke: it builds
+// hsd-serve, verifies the flight recorder is dark by default (GET
+// /debug/trace 404s, like the pprof surface), then boots with -trace and
+// drives mixed traffic — fast cache-less predicts, a concurrency burst
+// against a 2-slot queue until a 429 lands, and one final quiescent
+// predict — and asserts the recorder's tail-keep retention and trace
+// shapes: the 429 is kept with reason "error", a "slow" keep exists, the
+// final predict's queue span names its batch trace, the batch trace names
+// the member request back and carries extract/infer stage spans, and the
+// /metrics exposition links the slowest request via a q="max" trace-ID
+// exemplar. scripts/check.sh runs it as the tracing leg of the gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hotspot/internal/parallel"
+)
+
+const killAfter = 60 * time.Second
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracesmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tracesmoke: hsd-serve dark-404/retention/stage-trees/batch-linkage/exemplar OK")
+}
+
+// dump mirrors trace.DumpJSON; the smoke decodes the wire shape with its
+// own structs so a dump-format regression fails here, not just in unit
+// tests.
+type dump struct {
+	Recorded int64   `json:"recorded"`
+	Kept     int     `json:"kept"`
+	Dropped  int64   `json:"dropped"`
+	Traces   []trace `json:"traces"`
+}
+
+type trace struct {
+	TraceID string         `json:"trace_id"`
+	Seq     uint64         `json:"seq"`
+	Name    string         `json:"name"`
+	Status  int            `json:"status"`
+	Error   string         `json:"error"`
+	Kept    []string       `json:"kept"`
+	Attrs   map[string]any `json:"attrs"`
+	Spans   []span         `json:"spans"`
+}
+
+type span struct {
+	Name     string         `json:"name"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []span         `json:"children"`
+}
+
+// server is one booted hsd-serve process with its stdout scanner.
+type server struct {
+	cmd   *exec.Cmd
+	out   *bufio.Scanner
+	base  string
+	guard *time.Timer
+}
+
+// boot starts the binary with the given flags and waits for the listen
+// banner. The kill guard shoots the process after killAfter so a wedged
+// server fails the gate instead of hanging it.
+func boot(bin string, extra ...string) (*server, error) {
+	args := append([]string{"-untrained", "-addr", "127.0.0.1:0", "-workers", "2"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	guard := time.AfterFunc(killAfter, func() { _ = cmd.Process.Kill() })
+	out := bufio.NewScanner(stdout)
+	addr := ""
+	for out.Scan() {
+		line := out.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "hsd-serve: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		guard.Stop()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("server never printed its listen address (scan err: %v)", out.Err())
+	}
+	return &server{cmd: cmd, out: out, base: "http://" + addr, guard: guard}, nil
+}
+
+func (s *server) kill() {
+	s.guard.Stop()
+	_ = s.cmd.Process.Kill()
+	_ = s.cmd.Wait()
+}
+
+// shutdown sends SIGINT and verifies the drain banner and a zero exit.
+func (s *server) shutdown() error {
+	defer s.guard.Stop()
+	if err := s.cmd.Process.Signal(os.Interrupt); err != nil {
+		s.kill()
+		return fmt.Errorf("interrupt: %w", err)
+	}
+	drained := false
+	for s.out.Scan() {
+		line := s.out.Text()
+		fmt.Println(line)
+		if strings.Contains(line, "drained, bye") {
+			drained = true
+		}
+	}
+	if err := s.cmd.Wait(); err != nil {
+		return fmt.Errorf("server exit: %w", err)
+	}
+	if !drained {
+		return fmt.Errorf("server exited without the drain banner")
+	}
+	return nil
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "hsd-tracesmoke-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(tmp) }()
+
+	bin := filepath.Join(tmp, "hsd-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hsd-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build hsd-serve: %w", err)
+	}
+
+	if err := darkSurface(bin); err != nil {
+		return err
+	}
+	return litSurface(bin)
+}
+
+// darkSurface boots without -trace: the flight recorder must not exist,
+// so GET /debug/trace 404s like any unknown path, while the service
+// itself answers.
+func darkSurface(bin string) error {
+	srv, err := boot(bin)
+	if err != nil {
+		return err
+	}
+	fail := func(step string, err error) error {
+		srv.kill()
+		return fmt.Errorf("dark %s: %w", step, err)
+	}
+	if code, _, err := post(srv.base+"/v1/predict", clip(0)); err != nil || code != http.StatusOK {
+		return fail("predict", fmt.Errorf("status %d, err %v", code, err))
+	}
+	code, err := getStatus(srv.base + "/debug/trace")
+	if err != nil {
+		return fail("debug-trace", err)
+	}
+	if code != http.StatusNotFound {
+		return fail("debug-trace", fmt.Errorf("status %d, want 404 when tracing is dark", code))
+	}
+	return srv.shutdown()
+}
+
+// litSurface boots with -trace on a deliberately tiny queue, drives mixed
+// traffic, and checks retention, trace shapes, batch linkage, and the
+// metrics exemplar.
+func litSurface(bin string) error {
+	srv, err := boot(bin, "-trace", "-queue", "2", "-max-batch", "4", "-max-wait", "20ms", "-cache", "0")
+	if err != nil {
+		return err
+	}
+	fail := func(step string, err error) error {
+		srv.kill()
+		return fmt.Errorf("lit %s: %w", step, err)
+	}
+
+	// Warm-up predicts: distinct clips (the cache is off anyway), all 200.
+	next := 0
+	for i := 0; i < 3; i++ {
+		code, body, err := post(srv.base+"/v1/predict", clip(next))
+		next++
+		if err != nil || code != http.StatusOK {
+			return fail("warmup", fmt.Errorf("status %d, err %v: %s", code, err, body))
+		}
+	}
+
+	// Concurrency bursts against the 2-slot queue until a 429 lands. Each
+	// attempt fires 16 distinct clips at once over the repo's own bounded
+	// fan-out; with queue 2 + 20ms flush deadline the overflow fails fast.
+	const burst = 16
+	pool := parallel.New(burst)
+	saw429 := false
+	for attempt := 0; attempt < 20 && !saw429; attempt++ {
+		base := next
+		codes, err := parallel.Map(pool, burst, func(_, i int) (int, error) {
+			c, _, err := post(srv.base+"/v1/predict", clip(base+i))
+			return c, err
+		})
+		next += burst
+		if err != nil {
+			return fail("burst", err)
+		}
+		for _, c := range codes {
+			if c == http.StatusTooManyRequests {
+				saw429 = true
+			}
+		}
+	}
+	if !saw429 {
+		return fail("burst", fmt.Errorf("no 429 after 20 bursts against a 2-slot queue"))
+	}
+
+	// One final quiescent predict: with the burst drained, this request
+	// and its batch are the most recent traces — guaranteed in the recent
+	// ring for the linkage assertions.
+	time.Sleep(100 * time.Millisecond)
+	code, body, err := post(srv.base+"/v1/predict", clip(next))
+	if err != nil || code != http.StatusOK {
+		return fail("final predict", fmt.Errorf("status %d, err %v: %s", code, err, body))
+	}
+
+	// The batch trace finishes on the flush loop after replies go out:
+	// poll the dump until the final predict's batch is linked (sleep-count
+	// bounded at ~5s so a wedged flush fails the leg, not the kill guard).
+	var d dump
+	var last, batch *trace
+	for attempt := 0; ; attempt++ {
+		raw, err := get(srv.base + "/debug/trace")
+		if err != nil {
+			return fail("debug-trace", err)
+		}
+		d = dump{}
+		if err := json.Unmarshal([]byte(raw), &d); err != nil {
+			return fail("debug-trace", fmt.Errorf("bad JSON: %w\n%s", err, raw))
+		}
+		last, batch = findLinkedPair(&d)
+		if batch != nil || attempt >= 250 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Retention accounting: everything the traffic produced was recorded,
+	// and the kept set matches the trace list.
+	if d.Recorded < 20 {
+		return fail("retention", fmt.Errorf("recorded %d traces, want >= 20", d.Recorded))
+	}
+	if d.Kept != len(d.Traces) || d.Dropped != d.Recorded-int64(d.Kept) {
+		return fail("retention", fmt.Errorf("inconsistent accounting: recorded %d kept %d dropped %d traces %d",
+			d.Recorded, d.Kept, d.Dropped, len(d.Traces)))
+	}
+
+	// The 429 survived the boring traffic that followed: kept as "error".
+	found429 := false
+	sawSlow := false
+	for i := range d.Traces {
+		tr := &d.Traces[i]
+		for _, k := range tr.Kept {
+			if k == "slow" {
+				sawSlow = true
+			}
+		}
+		if tr.Status != http.StatusTooManyRequests {
+			continue
+		}
+		for _, k := range tr.Kept {
+			if k == "error" {
+				found429 = true
+			}
+		}
+		if tr.Error == "" {
+			return fail("429-trace", fmt.Errorf("429 trace %s carries no error message", tr.TraceID))
+		}
+	}
+	if !found429 {
+		return fail("429-trace", fmt.Errorf("no 429 trace kept with reason \"error\" among %d traces", len(d.Traces)))
+	}
+	if !sawSlow {
+		return fail("slow-keep", fmt.Errorf("no trace kept with reason \"slow\""))
+	}
+
+	// Stage tree + batch linkage for the final predict.
+	if last == nil {
+		return fail("linkage", fmt.Errorf("no 200 predict trace with a queue span in the dump"))
+	}
+	if batch == nil {
+		return fail("linkage", fmt.Errorf("predict %s names batch %q but no such batch trace was dumped",
+			last.TraceID, batchID(last)))
+	}
+	if !hasSpan(last.Spans, "decode") {
+		return fail("linkage", fmt.Errorf("predict trace %s has no decode span", last.TraceID))
+	}
+	if !hasSpan(batch.Spans, "extract") || !hasSpan(batch.Spans, "infer") {
+		return fail("linkage", fmt.Errorf("batch trace %s missing extract/infer spans", batch.TraceID))
+	}
+	member := false
+	for k, v := range batch.Attrs {
+		if strings.HasPrefix(k, "member_") && v == last.TraceID {
+			member = true
+		}
+	}
+	if !member {
+		return fail("linkage", fmt.Errorf("batch %s does not name member %s: %v", batch.TraceID, last.TraceID, batch.Attrs))
+	}
+
+	// The scrape links the slowest windowed request into the recorder, and
+	// carries the build-info gauge.
+	metrics, err := get(srv.base + "/metrics")
+	if err != nil {
+		return fail("metrics", err)
+	}
+	for _, want := range []string{`q="max",trace_id="`, `hsd_build_info{`} {
+		if !strings.Contains(metrics, want) {
+			return fail("metrics", fmt.Errorf("missing %q in:\n%s", want, metrics))
+		}
+	}
+
+	return srv.shutdown()
+}
+
+// findLinkedPair returns the newest 200 predict trace that has a queue
+// span naming a batch, and the batch trace it names (nil until the flush
+// loop has finished that batch's trace).
+func findLinkedPair(d *dump) (last, batch *trace) {
+	for i := range d.Traces {
+		tr := &d.Traces[i]
+		if tr.Name == "predict" && tr.Status == http.StatusOK && batchID(tr) != "" {
+			if last == nil || tr.Seq > last.Seq {
+				last = tr
+			}
+		}
+	}
+	if last == nil {
+		return nil, nil
+	}
+	want := batchID(last)
+	for i := range d.Traces {
+		tr := &d.Traces[i]
+		if tr.Name == "batch" && tr.TraceID == want {
+			return last, tr
+		}
+	}
+	return last, nil
+}
+
+// batchID extracts the batch_id attribute from a predict trace's queue
+// span ("" when absent).
+func batchID(tr *trace) string {
+	for _, sp := range tr.Spans {
+		if sp.Name == "queue" {
+			if id, ok := sp.Attrs["batch_id"].(string); ok {
+				return id
+			}
+		}
+	}
+	return ""
+}
+
+func hasSpan(spans []span, name string) bool {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// clip builds a distinct predict request body: a vertical wire whose
+// position varies with i, so every clip hashes differently.
+func clip(i int) []byte {
+	x0 := 40 + (i%20)*55
+	y0 := (i / 20 * 37) % 600
+	return []byte(fmt.Sprintf(`{"frame":{"x0":0,"y0":0,"x1":1200,"y1":1200},`+
+		`"rects":[{"x0":%d,"y0":%d,"x1":%d,"y1":1200}]}`, x0, y0, x0+60))
+}
+
+func post(url string, body []byte) (int, string, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(raw), nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
+
+// getStatus fetches a URL and returns only the status code.
+func getStatus(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
